@@ -1,0 +1,18 @@
+"""pytest-benchmark wrapper for Figure 7 (impact of distributed transactions).
+
+Runs the experiment once at the ``small`` scale (seconds of wall clock) and
+records the wall-clock time of the whole figure regeneration.  Run
+``python -m repro.bench --figure fig07 --scale paper`` for the full-size sweep.
+"""
+
+import pytest
+
+from repro.bench import ALL_EXPERIMENTS, SCALES
+
+
+@pytest.mark.benchmark(group="ycsb-sweeps")
+def test_fig07_distributed_ratio(benchmark):
+    result = benchmark.pedantic(
+        ALL_EXPERIMENTS["fig07"], args=(SCALES["small"],), iterations=1, rounds=1
+    )
+    assert result  # the experiment returns a non-empty result dictionary

@@ -1,0 +1,62 @@
+"""Micro-benchmarks of the substrate the protocols run on.
+
+These are not paper figures; they guard against performance regressions in
+the discrete-event engine, the lock manager and the Zipf generator, all of
+which dominate the wall-clock cost of regenerating the figures.
+"""
+
+import pytest
+
+from repro.sim.engine import Environment
+from repro.sim.randgen import DeterministicRandom, ZipfGenerator
+from repro.storage.lock import LockManager, LockMode, LockPolicy
+from repro.storage.record import Record
+from repro.txn.transaction import TxnId
+
+
+@pytest.mark.benchmark(group="micro")
+def test_engine_timeout_throughput(benchmark):
+    """Schedule and drain 20k timeout events."""
+
+    def run():
+        env = Environment()
+
+        def proc():
+            for _ in range(20_000):
+                yield env.timeout(1.0)
+
+        env.process(proc())
+        env.run(until=30_000)
+        return env.now
+
+    assert benchmark(run) > 0
+
+
+@pytest.mark.benchmark(group="micro")
+def test_lock_manager_grant_release(benchmark):
+    """Uncontended exclusive grant + release cycles."""
+    env = Environment()
+    manager = LockManager(env, LockPolicy.WAIT_DIE)
+    records = [Record(i, {"v": 0}) for i in range(64)]
+
+    def run():
+        for sequence in range(2_000):
+            tid = TxnId(sequence, 0)
+            for record in records[:8]:
+                assert manager.try_acquire(tid, record, LockMode.EXCLUSIVE)
+            manager.release_all(tid)
+        return manager.stats["grants"]
+
+    assert benchmark(run) > 0
+
+
+@pytest.mark.benchmark(group="micro")
+def test_zipf_generation(benchmark):
+    """Draw 100k Zipf keys at the default skew."""
+    rng = DeterministicRandom(7)
+    zipf = ZipfGenerator(100_000, 0.6, rng)
+
+    def run():
+        return sum(zipf.next() for _ in range(100_000))
+
+    assert benchmark(run) >= 0

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Contention sweep plus the analytical model of Appendix A.
+
+Sweeps the YCSB Zipf skew (the paper's contention knob, Fig. 6) for Primo and
+Sundial on the simulator, then evaluates the closed-form conflict-rate model
+of Appendix A over the read ratio to show where the model predicts Primo's
+advantage to disappear (read-heavy, mostly-distributed workloads).
+
+Run with:  python examples/contention_sweep.py
+"""
+
+from repro import (
+    AnalysisParameters,
+    Cluster,
+    ConflictRateModel,
+    SystemConfig,
+    YCSBConfig,
+    YCSBWorkload,
+)
+
+
+def run(protocol: str, skew: float) -> tuple[float, float]:
+    config = SystemConfig.for_protocol(
+        protocol,
+        n_partitions=4,
+        workers_per_partition=2,
+        inflight_per_worker=2,
+        duration_us=25_000.0,
+        warmup_us=6_000.0,
+    )
+    workload = YCSBWorkload(YCSBConfig(keys_per_partition=20_000, zipf_theta=skew))
+    result = Cluster(config, workload).run()
+    return result.throughput_ktps, result.abort_rate
+
+
+def main() -> None:
+    print("Measured: YCSB contention sweep (paper Fig. 6)")
+    print("-" * 72)
+    print(f"{'skew':>6} {'primo kTPS':>12} {'sundial kTPS':>14} {'ratio':>8} "
+          f"{'primo abort':>12} {'sundial abort':>14}")
+    for skew in (0.0, 0.4, 0.6, 0.8):
+        primo_tps, primo_abort = run("primo", skew)
+        sundial_tps, sundial_abort = run("sundial", skew)
+        print(
+            f"{skew:>6.2f} {primo_tps:>12.1f} {sundial_tps:>14.1f} "
+            f"{primo_tps / max(sundial_tps, 1e-9):>7.2f}x "
+            f"{primo_abort:>12.2%} {sundial_abort:>14.2%}"
+        )
+
+    print()
+    print("Analytical: conflict-rate model of Appendix A (R_u = 0.6)")
+    print("-" * 72)
+    print(f"{'read ratio':>10} {'CR_2PC':>10} {'CR_Primo':>10} {'primo wins':>12}")
+    for row in ConflictRateModel.sweep_read_ratio(
+        AnalysisParameters(), [0.0, 0.2, 0.4, 0.6, 0.8, 0.9, 1.0]
+    ):
+        print(
+            f"{row['read_ratio']:>10.2f} {row['cr_2pc']:>10.4f} "
+            f"{row['cr_primo']:>10.4f} {str(row['primo_wins']):>12}"
+        )
+    print()
+    print("The measured margin grows with contention, while the model shows the")
+    print("read-heavy corner (R_r > 0.8) where Primo would fall back to 2PC (§4.3).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Failure and recovery demo: what happens when a partition leader crashes.
+
+Kills one partition leader in the middle of a Primo run and walks through the
+recovery protocol of §5.2: failure detection by the membership service,
+leader re-election, watermark agreement (every partition publishes its latest
+partition watermark, the maximum wins), rollback of the transactions above the
+agreed watermark, and resumption of normal processing.
+
+Run with:  python examples/failure_recovery.py
+"""
+
+from repro import Cluster, SystemConfig, YCSBConfig, YCSBWorkload
+
+
+def main() -> None:
+    config = SystemConfig.for_protocol(
+        "primo",
+        n_partitions=4,
+        workers_per_partition=2,
+        inflight_per_worker=2,
+        duration_us=60_000.0,
+        warmup_us=10_000.0,
+        epoch_length_us=5_000.0,
+        crash_partition=2,
+        crash_time_us=40_000.0,      # kill partition 2 at t = 40 ms
+        heartbeat_interval_us=1_000.0,
+        heartbeat_timeout_us=5_000.0,
+    )
+    workload = YCSBWorkload(YCSBConfig(keys_per_partition=10_000))
+    cluster = Cluster(config, workload)
+    result = cluster.run()
+
+    print("Primo run with a partition-leader crash at t = 40 ms")
+    print("-" * 72)
+    print(f"committed transactions       : {result.committed}")
+    print(f"aborted (conflict) attempts  : {result.aborted}")
+    print(f"crash-induced aborts         : {result.metrics.crash_aborted}")
+    print(f"crash-abort rate             : {result.crash_abort_rate:.2%}")
+    print(f"throughput                   : {result.throughput_ktps:.1f} kTPS")
+    print()
+    counters = result.metrics.counters.as_dict()
+    print("Recovery protocol trace")
+    print("-" * 72)
+    print(f"crashes injected             : {counters.get('crashes_injected', 0)}")
+    print(f"recoveries completed         : {counters.get('recoveries_completed', 0)}")
+    print(f"transactions rolled back     : {counters.get('recovery_rolled_back', 0)}")
+    print(f"writes re-delivered          : {counters.get('recovery_redelivered', 0)}")
+    term = cluster.membership.current_term
+    print(f"recovery TERM-ID             : {term}")
+    print(f"published partition marks    : {cluster.membership.published_watermarks(term)}")
+    print(f"agreed global watermark      : {cluster.membership.agreed_global_watermark(term)}")
+    print()
+    print("Transactions whose results had already been returned (ts below the")
+    print("agreed watermark) survive the crash; everything above it is rolled")
+    print("back and the partition resumes with a consistent prefix (§5.2).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""TPC-C study: protocol comparison on a realistic OLTP mix.
+
+Runs the full five-transaction TPC-C mix (NewOrder, Payment, OrderStatus,
+Delivery, StockLevel) on a simulated 4-partition cluster for several
+protocols, and then shows how the number of warehouses per partition changes
+Primo's advantage (fewer warehouses = more contention = larger win,
+paper Figs. 5 and 10).
+
+Run with:  python examples/tpcc_study.py
+"""
+
+from repro import Cluster, SystemConfig, TPCCConfig, TPCCWorkload
+
+
+def run(protocol: str, warehouses: int) -> "tuple[float, float, dict]":
+    config = SystemConfig.for_protocol(
+        protocol,
+        n_partitions=4,
+        workers_per_partition=2,
+        inflight_per_worker=2,
+        duration_us=30_000.0,
+        warmup_us=8_000.0,
+    )
+    workload = TPCCWorkload(
+        TPCCConfig(warehouses_per_partition=warehouses, items=500, customers_per_district=50)
+    )
+    result = Cluster(config, workload).run()
+    return result.throughput_ktps, result.abort_rate, result.per_txn_type
+
+
+def main() -> None:
+    print("TPC-C, 4 partitions, 8 warehouses/partition, full transaction mix")
+    print("-" * 72)
+    for protocol in ("2pl_wd", "silo", "sundial", "primo"):
+        ktps, abort_rate, mix = run(protocol, warehouses=8)
+        print(f"{protocol:8s}  {ktps:8.1f} kTPS   abort {abort_rate:6.2%}   mix {mix}")
+
+    print()
+    print("Impact of the number of warehouses (contention knob, paper Fig. 10)")
+    print("-" * 72)
+    for warehouses in (1, 4, 16):
+        primo, _, _ = run("primo", warehouses)
+        sundial, _, _ = run("sundial", warehouses)
+        print(
+            f"{warehouses:3d} warehouses/partition:  primo {primo:8.1f} kTPS   "
+            f"sundial {sundial:8.1f} kTPS   ratio {primo / max(sundial, 1e-9):.2f}x"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""repro — a reproduction of Primo (ICDE 2023).
+
+Primo is a distributed transaction protocol that eliminates two-phase commit
+by combining write-conflict-free concurrency control (exclusive read locks for
+distributed transactions + TicToc for local ones) with a watermark-based
+asynchronous distributed group commit.  This package implements Primo, the six
+baseline protocols the paper compares against, the storage / logging /
+replication substrates they run on, the YCSB and TPC-C workloads, and a
+benchmark harness that regenerates every figure of the paper's evaluation on a
+discrete-event simulator.
+
+Quickstart::
+
+    from repro import Cluster, SystemConfig
+    from repro.workloads import YCSBWorkload
+
+    config = SystemConfig.for_protocol("primo")
+    result = Cluster(config, YCSBWorkload()).run()
+    print(f"{result.throughput_ktps:.0f} kTPS at {result.mean_latency_ms:.1f} ms")
+"""
+
+from .cluster import Cluster, RunResult, Server, SystemConfig
+from .cluster.config import DURABILITY_SCHEMES, PROTOCOLS
+from .core import (
+    AnalysisParameters,
+    ConflictRateModel,
+    PrimoProtocol,
+    WatermarkGroupCommit,
+)
+from .workloads import (
+    SmallbankConfig,
+    SmallbankWorkload,
+    TATPConfig,
+    TATPWorkload,
+    TPCCConfig,
+    TPCCWorkload,
+    YCSBConfig,
+    YCSBWorkload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisParameters",
+    "Cluster",
+    "ConflictRateModel",
+    "DURABILITY_SCHEMES",
+    "PROTOCOLS",
+    "PrimoProtocol",
+    "RunResult",
+    "Server",
+    "SmallbankConfig",
+    "SmallbankWorkload",
+    "SystemConfig",
+    "TATPConfig",
+    "TATPWorkload",
+    "TPCCConfig",
+    "TPCCWorkload",
+    "WatermarkGroupCommit",
+    "YCSBConfig",
+    "YCSBWorkload",
+    "__version__",
+]

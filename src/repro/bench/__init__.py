@@ -1,0 +1,6 @@
+"""Benchmark harness regenerating every figure of the paper's evaluation."""
+
+from .experiments import ALL_EXPERIMENTS
+from .runner import SCALES, BenchScale, build_workload, run_config
+
+__all__ = ["ALL_EXPERIMENTS", "SCALES", "BenchScale", "build_workload", "run_config"]

@@ -1,0 +1,38 @@
+"""Command-line entry point: ``python -m repro.bench --figure fig06 --scale medium``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .experiments import ALL_EXPERIMENTS
+from .runner import SCALES
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's figures on the simulated cluster.",
+    )
+    parser.add_argument(
+        "--figure",
+        action="append",
+        choices=sorted(ALL_EXPERIMENTS),
+        help="figure to run (repeatable); default: all figures",
+    )
+    parser.add_argument(
+        "--scale",
+        default="small",
+        choices=sorted(SCALES),
+        help="run size: small (seconds per point), medium, or paper",
+    )
+    args = parser.parse_args(argv)
+    scale = SCALES[args.scale]
+    figures = args.figure or sorted(ALL_EXPERIMENTS)
+    for name in figures:
+        ALL_EXPERIMENTS[name](scale)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

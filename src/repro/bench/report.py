@@ -1,0 +1,54 @@
+"""Plain-text report printers for the benchmark harness.
+
+Each experiment returns a dictionary of rows/series; these helpers turn them
+into aligned tables on stdout, always showing the paper's headline number next
+to the measured one so the shape comparison is immediate.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+__all__ = ["print_table", "print_header", "format_ratio", "print_series"]
+
+
+def print_header(title: str, paper_note: str = "") -> None:
+    print()
+    print("=" * 78)
+    print(title)
+    if paper_note:
+        print(f"  paper: {paper_note}")
+    print("=" * 78)
+
+
+def format_ratio(value: float) -> str:
+    return f"{value:.2f}x"
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def print_table(columns: list[str], rows: Iterable[Iterable], indent: int = 2) -> None:
+    rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(col) for col in columns]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    pad = " " * indent
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    print(pad + header)
+    print(pad + "-" * len(header))
+    for row in rows:
+        print(pad + "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+
+
+def print_series(name: str, xs: list, ys: list, unit: str = "") -> None:
+    print(f"  {name} {unit}".rstrip())
+    print_table(["x", name], list(zip(xs, ys)), indent=4)

@@ -1,0 +1,143 @@
+"""Shared helpers for the benchmark harness.
+
+Every figure-level experiment is built from :func:`run_config`, which builds a
+cluster for one (protocol, durability, workload, knobs) point and runs it for
+the scale's simulated duration.  Two scales are provided:
+
+* ``small`` — seconds of wall-clock per point; used by the pytest-benchmark
+  suite so the whole harness regenerates every figure in minutes;
+* ``paper`` — longer simulated runs and full sweep ranges, closer to the
+  paper's operating points (minutes of wall-clock per figure).
+
+Absolute throughput numbers are simulator-specific; the quantities to compare
+against the paper are the *ratios* between protocols and the *shapes* of the
+sweeps, which is what the report printers show.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..cluster.cluster import Cluster
+from ..cluster.config import SystemConfig
+from ..cluster.results import RunResult
+from ..workloads.smallbank import SmallbankConfig, SmallbankWorkload
+from ..workloads.tatp import TATPConfig, TATPWorkload
+from ..workloads.tpcc import TPCCConfig, TPCCWorkload
+from ..workloads.ycsb import YCSBConfig, YCSBWorkload
+
+__all__ = ["BenchScale", "SCALES", "run_config", "build_workload"]
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """Run-size preset used by the experiment functions."""
+
+    name: str
+    duration_us: float
+    warmup_us: float
+    workers_per_partition: int
+    inflight_per_worker: int
+    ycsb_keys_per_partition: int
+    tpcc_warehouses_per_partition: int
+    tpcc_items: int
+    tpcc_customers_per_district: int
+    sweep_points: int  # how many points of each sweep to keep
+
+
+SCALES: dict[str, BenchScale] = {
+    "small": BenchScale(
+        name="small",
+        duration_us=20_000.0,
+        warmup_us=5_000.0,
+        workers_per_partition=2,
+        inflight_per_worker=2,
+        ycsb_keys_per_partition=10_000,
+        tpcc_warehouses_per_partition=4,
+        tpcc_items=200,
+        tpcc_customers_per_district=30,
+        sweep_points=3,
+    ),
+    "medium": BenchScale(
+        name="medium",
+        duration_us=40_000.0,
+        warmup_us=10_000.0,
+        workers_per_partition=3,
+        inflight_per_worker=2,
+        ycsb_keys_per_partition=20_000,
+        tpcc_warehouses_per_partition=8,
+        tpcc_items=500,
+        tpcc_customers_per_district=60,
+        sweep_points=4,
+    ),
+    "paper": BenchScale(
+        name="paper",
+        duration_us=100_000.0,
+        warmup_us=20_000.0,
+        workers_per_partition=4,
+        inflight_per_worker=3,
+        ycsb_keys_per_partition=100_000,
+        tpcc_warehouses_per_partition=16,
+        tpcc_items=2_000,
+        tpcc_customers_per_district=200,
+        sweep_points=6,
+    ),
+}
+
+
+def build_workload(scale: BenchScale, workload: str = "ycsb", **overrides):
+    """Construct a workload object with the scale's size defaults applied."""
+    if workload == "ycsb":
+        params = {"keys_per_partition": scale.ycsb_keys_per_partition}
+        params.update(overrides)
+        return YCSBWorkload(YCSBConfig(**params))
+    if workload == "tpcc":
+        params = {
+            "warehouses_per_partition": scale.tpcc_warehouses_per_partition,
+            "items": scale.tpcc_items,
+            "customers_per_district": scale.tpcc_customers_per_district,
+        }
+        params.update(overrides)
+        return TPCCWorkload(TPCCConfig(**params))
+    if workload == "tatp":
+        return TATPWorkload(TATPConfig(**overrides))
+    if workload == "smallbank":
+        return SmallbankWorkload(SmallbankConfig(**overrides))
+    raise ValueError(f"unknown workload {workload!r}")
+
+
+def run_config(
+    protocol: str,
+    scale: BenchScale,
+    workload: str = "ycsb",
+    workload_overrides: Optional[dict] = None,
+    **config_overrides,
+) -> RunResult:
+    """Run one configuration point and return its results."""
+    config = SystemConfig.for_protocol(
+        protocol,
+        duration_us=config_overrides.pop("duration_us", scale.duration_us),
+        warmup_us=config_overrides.pop("warmup_us", scale.warmup_us),
+        workers_per_partition=config_overrides.pop(
+            "workers_per_partition", scale.workers_per_partition
+        ),
+        inflight_per_worker=config_overrides.pop(
+            "inflight_per_worker", scale.inflight_per_worker
+        ),
+        **config_overrides,
+    )
+    workload_obj = build_workload(scale, workload, **(workload_overrides or {}))
+    cluster = Cluster(config, workload_obj)
+    return cluster.run()
+
+
+def sweep_values(values: list, scale: BenchScale) -> list:
+    """Thin a sweep down to the scale's number of points (keeping endpoints)."""
+    if len(values) <= scale.sweep_points:
+        return list(values)
+    if scale.sweep_points == 1:
+        return [values[-1]]
+    step = (len(values) - 1) / (scale.sweep_points - 1)
+    indices = sorted({round(i * step) for i in range(scale.sweep_points)})
+    return [values[i] for i in indices]

@@ -1,0 +1,192 @@
+"""The public entry point: a simulated shared-nothing cluster.
+
+Typical use (see ``examples/quickstart.py``)::
+
+    from repro import Cluster, SystemConfig
+    from repro.workloads import YCSBWorkload, YCSBConfig
+
+    config = SystemConfig.for_protocol("primo", n_partitions=4)
+    workload = YCSBWorkload(YCSBConfig(zipf_theta=0.6))
+    result = Cluster(config, workload).run()
+    print(result.throughput_ktps, result.mean_latency_ms)
+
+``Cluster`` wires together the simulation environment, the network, one
+server per partition, the configured protocol and durability scheme, the
+membership/recovery machinery and the workload, runs the closed-loop workers
+for the configured (simulated) duration and returns a :class:`RunResult`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Optional
+
+from ..commit import create_durability_scheme
+from ..protocols import create_protocol
+from ..replication.membership import MembershipService
+from ..sim.engine import Environment
+from ..sim.network import Network
+from ..sim.randgen import DeterministicRandom, derive_seed
+from ..sim.stats import Counter, RunMetrics
+from ..txn.transaction import Transaction
+from ..workloads.base import Workload
+from .config import SystemConfig
+from .recovery import CrashInjector, RecoveryCoordinator
+from .results import RunResult
+from .server import Server
+from .worker import worker_loop
+
+__all__ = ["Cluster"]
+
+
+class Cluster:
+    """A simulated cluster running one protocol on one workload."""
+
+    def __init__(self, config: SystemConfig, workload: Workload):
+        config.validate()
+        self.config = config
+        self.workload = workload
+        self.env = Environment()
+        self.network = Network(
+            self.env,
+            one_way_latency_us=config.one_way_network_latency_us,
+            local_latency_us=config.local_message_latency_us,
+        )
+        self.stopped = False
+        # Set by the recovery coordinator while it quiesces and rolls back;
+        # workers wait on it before starting new transaction attempts.
+        self.pause_event = None
+        self.counters = Counter()
+
+        # Protocol first (its lock policy configures the partitions' lock managers).
+        self.protocol = create_protocol(config.protocol, self)
+        self.servers: dict[int, Server] = {
+            p: Server(self, p, self.protocol.lock_policy)
+            for p in range(config.n_partitions)
+        }
+        self.durability = create_durability_scheme(config.durability, self)
+        self.membership = MembershipService(
+            self.env,
+            config.n_partitions,
+            heartbeat_interval_us=config.heartbeat_interval_us,
+            heartbeat_timeout_us=config.heartbeat_timeout_us,
+        )
+        self.recovery = RecoveryCoordinator(self)
+        self.crash_injector = CrashInjector(self)
+
+        # Measurement state.
+        self.metrics = RunMetrics()
+        self._measure_start = config.warmup_us
+        self._measure_end = config.warmup_us + config.duration_us
+        self._per_txn_type: dict[str, int] = defaultdict(int)
+        self._abort_reasons: dict[str, int] = defaultdict(int)
+        self._started = False
+
+        # Populate the database.
+        self.workload.load(self)
+
+    # -- helpers used by protocols / schemes / workloads ----------------------------
+    def rng_for(self, label: str) -> DeterministicRandom:
+        return DeterministicRandom(derive_seed(self.config.seed, hash(label) & 0xFFFFFFFF))
+
+    def new_txn_source(self, partition_id: int, stream_id: int):
+        return self.workload.make_source(self, partition_id, stream_id)
+
+    def server_of(self, partition_id: int) -> Server:
+        return self.servers[partition_id]
+
+    # -- measurement -------------------------------------------------------------------
+    def _in_window(self, time_us: float) -> bool:
+        return self._measure_start <= time_us < self._measure_end
+
+    def record_commit(self, server: Server, txn: Transaction) -> None:
+        """A transaction finished its commit phase (writes installed)."""
+        if not self._in_window(self.env.now):
+            return
+        self.metrics.committed += 1
+        self._per_txn_type[txn.name] += 1
+        txn.breakdown["_counted"] = 1.0
+
+    def record_durable(self, server: Server, txn: Transaction) -> None:
+        """The transaction's result was returned to the client."""
+        if "_counted" not in txn.breakdown:
+            return
+        self.metrics.latency.record(max(0.0, txn.durable_time - txn.first_start_time))
+        for component, value in txn.breakdown.items():
+            if not component.startswith("_"):
+                self.metrics.breakdown.add(component, value)
+        self.metrics.breakdown.finish_transaction()
+
+    def record_abort(self, server: Server, txn: Transaction) -> None:
+        if not self._in_window(self.env.now):
+            return
+        self.metrics.aborted += 1
+        reason = txn.abort_reason.value if txn.abort_reason else "unknown"
+        self._abort_reasons[reason] += 1
+
+    def record_crash_abort(self, server: Server, txn: Transaction) -> None:
+        if "_counted" in txn.breakdown:
+            # The transaction had been counted committed but its epoch /
+            # watermark batch was lost to a crash: undo the count.
+            self.metrics.committed -= 1
+        self.metrics.crash_aborted += 1
+        self._abort_reasons["crash"] += 1
+
+    # -- run -----------------------------------------------------------------------------
+    def start(self) -> None:
+        """Spawn all background processes and worker fibers (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        self.durability.start()
+        self.recovery.start()
+        self.crash_injector.start()
+        if self.config.crash_time_us is not None:
+            self.membership.start()
+            for server in self.servers.values():
+                self.env.process(self._heartbeat_loop(server), name=f"heartbeat-p{server.partition_id}")
+        if self.protocol.runs_own_loop:
+            self.env.process(self.protocol.run_loop(), name="protocol-loop")
+            return
+        for partition_id, server in self.servers.items():
+            for worker_id in range(self.config.workers_per_partition):
+                for fiber_id in range(self.config.inflight_per_worker):
+                    stream_id = worker_id * self.config.inflight_per_worker + fiber_id
+                    source = self.new_txn_source(partition_id, stream_id)
+                    self.env.process(
+                        worker_loop(self, server, source),
+                        name=f"worker-p{partition_id}-{stream_id}",
+                    )
+
+    def _heartbeat_loop(self, server: Server):
+        # Keeps running through the post-measurement drain so the failure
+        # detector does not report spurious failures once workers stop.
+        while True:
+            if not server.crashed:
+                self.membership.heartbeat(server.partition_id)
+            yield self.env.timeout(self.config.heartbeat_interval_us)
+
+    def run(self, duration_us: Optional[float] = None) -> RunResult:
+        """Run the simulation and return the measured results."""
+        if duration_us is not None:
+            self._measure_end = self._measure_start + duration_us
+        self.start()
+        total = self._measure_end + self.config.epoch_length_us * 3
+        self.env.run(until=self._measure_end)
+        self.stopped = True
+        # Let in-flight group commits / watermarks drain so latency samples of
+        # already-counted transactions are recorded.
+        self.env.run(until=total)
+        self.metrics.duration_us = self._measure_end - self._measure_start
+        self.metrics.counters.merge(self.counters)
+        return RunResult(
+            protocol=self.config.protocol,
+            durability=self.config.durability,
+            workload=self.workload.name,
+            n_partitions=self.config.n_partitions,
+            metrics=self.metrics,
+            network_messages=self.network.stats.messages_sent,
+            per_txn_type=dict(self._per_txn_type),
+            abort_reasons=dict(self._abort_reasons),
+            extra={"config": self.config},
+        )

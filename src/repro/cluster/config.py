@@ -1,0 +1,152 @@
+"""System configuration for a simulated cluster run.
+
+Defaults follow the paper's experimental setup (§6.1): 4 partitions, 3
+replicas per partition, ~10 ms group-commit latency target, medium-contention
+YCSB.  Latency constants model a 10 GbE-class network and local DRAM access;
+they are deliberately explicit so ablation benches can sweep them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+__all__ = ["SystemConfig", "PROTOCOLS", "DURABILITY_SCHEMES"]
+
+# Names accepted by ``SystemConfig.protocol``.
+PROTOCOLS = (
+    "primo",        # WCF + TicToc + watermark group commit (this paper)
+    "2pl_nw",       # 2PL NO_WAIT + 2PC (Spanner-like)
+    "2pl_wd",       # 2PL WAIT_DIE + 2PC
+    "silo",         # OCC (Silo) + 2PC, distributed variant from COCO
+    "sundial",      # TicToc-based (Sundial) + 2PC
+    "aria",         # deterministic batch execution
+    "tapir",        # co-designed commit + inconsistent replication
+)
+
+# Names accepted by ``SystemConfig.durability``.
+DURABILITY_SCHEMES = (
+    "wm",     # Primo's watermark-based asynchronous group commit
+    "coco",   # COCO epoch-based synchronous group commit
+    "clv",    # controlled lock violation (fine-grained early lock release)
+    "sync",   # synchronous per-transaction logging (no group commit)
+    "none",   # no durability tracking (unit tests / micro-benches only)
+)
+
+
+@dataclass
+class SystemConfig:
+    """All tunables of a simulated cluster."""
+
+    # -- topology ---------------------------------------------------------
+    n_partitions: int = 4
+    replicas_per_partition: int = 3
+    workers_per_partition: int = 4
+    # Transactions a worker keeps in flight (it starts a new one while a
+    # running transaction waits for a remote response, §6.1.3).
+    inflight_per_worker: int = 2
+
+    # -- protocol selection ------------------------------------------------
+    protocol: str = "primo"
+    durability: str = "wm"
+    # Primo's read-heavy fallback (§4.3): when True the workload is declared
+    # read-heavy+distributed and Primo processes distributed transactions with
+    # plain 2PL+2PC instead of WCF.
+    primo_fallback_to_2pc: bool = False
+
+    # -- timing model (microseconds) ----------------------------------------
+    one_way_network_latency_us: float = 50.0
+    local_message_latency_us: float = 0.2
+    cpu_record_access_us: float = 0.4       # per read/write record access
+    cpu_txn_logic_us: float = 2.0           # per-transaction compute
+    cpu_message_handling_us: float = 2.0    # coordinator-side cost per message
+    log_write_us: float = 15.0              # serialize a log record batch
+    storage_persist_us: float = 100.0       # SSD / replication quorum persist
+    clv_tracking_overhead_us: float = 0.8   # CLV per-access dependency tracking
+
+    # -- group commit / watermark ------------------------------------------
+    epoch_length_us: float = 10_000.0       # COCO epoch / WM interval t_m (10 ms)
+    watermark_force_update: bool = True     # §5.1 lagging-partition force update
+    # Per-partition jitter of flush/epoch processing, models OS/GC noise that
+    # makes synchronous epoch barriers hurt at scale.
+    epoch_jitter_us: float = 200.0
+
+    # -- transaction retry ---------------------------------------------------
+    backoff_initial_us: float = 500.0        # 0.5 ms initial backoff (§6.1.3)
+    backoff_multiplier: float = 2.0
+    backoff_max_us: float = 16_000.0
+    max_retries: int = 1_000
+
+    # -- Aria ---------------------------------------------------------------
+    aria_batch_size_per_partition: int = 20
+
+    # -- run control ---------------------------------------------------------
+    warmup_us: float = 20_000.0
+    duration_us: float = 200_000.0
+    seed: int = 42
+
+    # -- failure injection ----------------------------------------------------
+    crash_partition: Optional[int] = None
+    crash_time_us: Optional[float] = None
+    heartbeat_interval_us: float = 2_000.0
+    heartbeat_timeout_us: float = 10_000.0
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        if self.protocol not in PROTOCOLS:
+            raise ValueError(f"unknown protocol {self.protocol!r}; choose from {PROTOCOLS}")
+        if self.durability not in DURABILITY_SCHEMES:
+            raise ValueError(
+                f"unknown durability scheme {self.durability!r}; choose from {DURABILITY_SCHEMES}"
+            )
+        if self.n_partitions < 1:
+            raise ValueError("n_partitions must be >= 1")
+        if self.workers_per_partition < 1 or self.inflight_per_worker < 1:
+            raise ValueError("workers_per_partition and inflight_per_worker must be >= 1")
+        if self.replicas_per_partition < 1:
+            raise ValueError("replicas_per_partition must be >= 1")
+        if self.duration_us <= 0:
+            raise ValueError("duration_us must be positive")
+        if self.epoch_length_us <= 0:
+            raise ValueError("epoch_length_us must be positive")
+
+    # -- derived quantities ----------------------------------------------------
+    @property
+    def roundtrip_us(self) -> float:
+        return 2.0 * self.one_way_network_latency_us
+
+    @property
+    def concurrency_per_partition(self) -> int:
+        return self.workers_per_partition * self.inflight_per_worker
+
+    @property
+    def total_duration_us(self) -> float:
+        return self.warmup_us + self.duration_us
+
+    def with_overrides(self, **overrides) -> "SystemConfig":
+        """Return a copy with the given fields replaced (validates the result)."""
+        updated = replace(self, **overrides)
+        updated.validate()
+        return updated
+
+    @classmethod
+    def for_protocol(cls, protocol: str, **overrides) -> "SystemConfig":
+        """Config with the paper's default durability pairing for a protocol.
+
+        Primo uses the watermark scheme; 2PL/Silo/Sundial baselines are paired
+        with COCO group commit (§6.1.3); Aria's sequencing layer and TAPIR's
+        replication handle their own durability.
+        """
+        defaults = {
+            "primo": "wm",
+            "2pl_nw": "coco",
+            "2pl_wd": "coco",
+            "silo": "coco",
+            "sundial": "coco",
+            "aria": "none",
+            "tapir": "sync",
+        }
+        durability = overrides.pop("durability", defaults.get(protocol, "coco"))
+        return cls(protocol=protocol, durability=durability, **overrides)

@@ -1,0 +1,186 @@
+"""Crash injection and the recovery protocol of §5.2.
+
+``CrashInjector`` kills a partition leader at a configured time (the
+experiment of Fig. 12b kills one partition after a fixed interval).
+``RecoveryCoordinator`` reacts to the membership service's failure
+notification and runs the paper's recovery sequence:
+
+1. the failed partition elects a new leader from its replication group, which
+   by Raft's guarantees has every transaction below the last persisted
+   partition watermark;
+2. every partition publishes its latest partition watermark under a fresh
+   TERM-ID; the agreed global watermark is the maximum published value;
+3. transactions with ``ts`` at or above the agreed watermark are rolled back
+   (their results were never returned to clients) using the undo images in the
+   partitions' logs, everything below is acknowledged;
+4. normal processing resumes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from ..commit.logging import LogRecordKind
+from ..core.watermark import WatermarkGroupCommit
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .cluster import Cluster
+
+__all__ = ["CrashInjector", "RecoveryCoordinator"]
+
+
+class CrashInjector:
+    """Kills a partition leader at ``config.crash_time_us``."""
+
+    def __init__(self, cluster: "Cluster"):
+        self.cluster = cluster
+        self.env = cluster.env
+
+    def start(self) -> None:
+        config = self.cluster.config
+        if config.crash_partition is None or config.crash_time_us is None:
+            return
+        self.env.process(self._inject(), name="crash-injector")
+
+    def _inject(self) -> Generator:
+        config = self.cluster.config
+        yield self.env.timeout(config.crash_time_us)
+        server = self.cluster.servers[config.crash_partition]
+        server.crash()
+        self.cluster.durability.notify_crash(config.crash_partition)
+        self.cluster.counters.increment("crashes_injected")
+
+
+class RecoveryCoordinator:
+    """Runs watermark agreement + rollback after a partition-leader failure."""
+
+    def __init__(self, cluster: "Cluster"):
+        self.cluster = cluster
+        self.env = cluster.env
+        self.stats = {"recoveries": 0, "rolled_back": 0}
+
+    def start(self) -> None:
+        self.cluster.membership.on_failure(self._on_failure)
+
+    def _on_failure(self, partition_id: int) -> None:
+        self.env.process(self._recover(partition_id), name=f"recovery-p{partition_id}")
+
+    # -- the recovery sequence ------------------------------------------------------
+    def _recover(self, partition_id: int) -> Generator:
+        cluster = self.cluster
+        failed = cluster.servers[partition_id]
+        self.stats["recoveries"] += 1
+
+        # (1) leader re-election inside the failed partition's replica group.
+        yield from failed.replication.elect_new_leader()
+
+        # (1b) quiesce: pause new transactions, abort orphaned transactions
+        # coordinated by the failed partition, and let in-flight commit
+        # messages drain so the rollback below sees a settled state.
+        cluster.pause_event = self.env.event()
+        for server in cluster.servers.values():
+            for txn in list(server.active_txns._active.values()):
+                if txn.coordinator == partition_id:
+                    server.store.lock_manager.release_all(txn.tid)
+                    server.active_txns.deregister(txn)
+        for _ in range(200):
+            survivors_idle = all(
+                len(server.active_txns) == 0
+                for pid, server in cluster.servers.items()
+                if pid != partition_id
+            )
+            if survivors_idle:
+                break
+            yield self.env.timeout(100.0)
+
+        # (2) watermark agreement via the membership service (TERM-ID keyed).
+        term = cluster.membership.new_recovery_term()
+        for pid, server in cluster.servers.items():
+            if pid == partition_id:
+                watermark = server.log.latest_persisted_watermark()
+            elif isinstance(cluster.durability, WatermarkGroupCommit):
+                watermark = cluster.durability.latest_partition_watermark(pid)
+            else:
+                watermark = server.partition_watermark
+            cluster.membership.publish_watermark(term, pid, watermark)
+        # Publishing goes through the membership service's consensus: charge a
+        # round trip per partition (they run in parallel, so one round trip).
+        yield self.env.timeout(cluster.network.roundtrip_us(0, partition_id))
+        agreed = cluster.membership.agreed_global_watermark(term) or 0.0
+
+        # (3) roll back transactions with ts >= agreed on every partition.
+        rolled_back = 0
+        for server in cluster.servers.values():
+            rolled_back += self._rollback_partition(server, agreed)
+        self.stats["rolled_back"] += rolled_back
+        cluster.counters.increment("recovery_rolled_back", rolled_back)
+
+        # (3b) re-deliver remote writes of kept transactions whose one-way
+        # commit message to the crashed partition was lost in flight.
+        redelivered = self._redeliver_lost_writes(partition_id, agreed)
+        cluster.counters.increment("recovery_redelivered", redelivered)
+
+        if isinstance(cluster.durability, WatermarkGroupCommit):
+            outcome = cluster.durability.resolve_after_crash(agreed)
+            cluster.counters.increment("recovery_durable", outcome["durable"])
+
+        # (4) resume normal processing.
+        failed.recover_as_new_leader()
+        cluster.membership.mark_recovered(partition_id)
+        cluster.durability.notify_recovered(partition_id)
+        if cluster.pause_event is not None and not cluster.pause_event.triggered:
+            cluster.pause_event.succeed(None)
+        cluster.pause_event = None
+        cluster.counters.increment("recoveries_completed")
+
+    def _redeliver_lost_writes(self, crashed_partition: int, agreed_watermark: float) -> int:
+        """Re-install writes below the agreed watermark that never reached the
+        crashed partition (its leader died before the one-way message landed)."""
+        target = self.cluster.servers[crashed_partition]
+        redelivered = 0
+        for pid, server in self.cluster.servers.items():
+            if pid == crashed_partition:
+                continue
+            for record in server.log.records(LogRecordKind.COMMIT_DECISION):
+                if record.txn_ts is None or record.txn_ts >= agreed_watermark:
+                    continue
+                writes = record.payload.get("remote_writes", {}).get(crashed_partition)
+                if not writes:
+                    continue
+                for table_name, key, updates, is_insert, is_delete in writes:
+                    table = target.store.table(table_name)
+                    existing = table.get(key)
+                    if is_delete:
+                        if existing is not None and existing.wts < record.txn_ts:
+                            table.delete(key)
+                        continue
+                    if existing is None:
+                        if is_insert or updates:
+                            fresh = table.upsert(key, updates)
+                            fresh.wts = fresh.rts = record.txn_ts
+                            redelivered += 1
+                        continue
+                    if existing.wts < record.txn_ts:
+                        existing.install_fields(updates, record.txn_ts)
+                        redelivered += 1
+        return redelivered
+
+    def _rollback_partition(self, server, agreed_watermark: float) -> int:
+        """Undo installed writes of transactions above the agreed watermark."""
+        records = server.log.writeset_records_at_or_after(agreed_watermark)
+        rolled_back = 0
+        for record in reversed(records):
+            before_images = record.payload.get("before_images", {})
+            for (table_name, key), image in before_images.items():
+                table = server.store.table(table_name)
+                if image is None:
+                    # The write was an insert: remove the record again.
+                    if table.get(key) is not None:
+                        table.delete(key)
+                    continue
+                target = table.get(key)
+                if target is not None:
+                    target.value = dict(image)
+                    target.version += 1
+            rolled_back += 1
+        return rolled_back

@@ -1,0 +1,84 @@
+"""Run results returned by :meth:`repro.cluster.cluster.Cluster.run`."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..sim.stats import RunMetrics
+
+__all__ = ["RunResult"]
+
+
+@dataclass
+class RunResult:
+    """Everything a single simulated run reports."""
+
+    protocol: str
+    durability: str
+    workload: str
+    n_partitions: int
+    metrics: RunMetrics
+    network_messages: int = 0
+    per_txn_type: dict = field(default_factory=dict)
+    abort_reasons: dict = field(default_factory=dict)
+    extra: dict = field(default_factory=dict)
+
+    # -- convenience passthroughs used everywhere in benches/tests -------------
+    @property
+    def throughput_tps(self) -> float:
+        return self.metrics.throughput_tps
+
+    @property
+    def throughput_ktps(self) -> float:
+        return self.metrics.throughput_ktps
+
+    @property
+    def committed(self) -> int:
+        return self.metrics.committed
+
+    @property
+    def aborted(self) -> int:
+        return self.metrics.aborted
+
+    @property
+    def abort_rate(self) -> float:
+        return self.metrics.abort_rate
+
+    @property
+    def crash_abort_rate(self) -> float:
+        return self.metrics.crash_abort_rate
+
+    @property
+    def mean_latency_ms(self) -> float:
+        return self.metrics.mean_latency_ms
+
+    @property
+    def p99_latency_ms(self) -> float:
+        return self.metrics.p99_latency_ms
+
+    @property
+    def breakdown_us(self) -> dict:
+        return self.metrics.breakdown.per_transaction()
+
+    def summary(self) -> dict:
+        data = self.metrics.summary()
+        data.update(
+            {
+                "protocol": self.protocol,
+                "durability": self.durability,
+                "workload": self.workload,
+                "n_partitions": self.n_partitions,
+                "network_messages": self.network_messages,
+                "per_txn_type": dict(self.per_txn_type),
+                "abort_reasons": dict(self.abort_reasons),
+            }
+        )
+        return data
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"RunResult({self.protocol}/{self.durability} on {self.workload}: "
+            f"{self.throughput_ktps:.1f} kTPS, abort={self.abort_rate:.2%}, "
+            f"latency={self.mean_latency_ms:.2f} ms)"
+        )

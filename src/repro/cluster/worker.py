@@ -1,0 +1,105 @@
+"""Worker fibers: the closed-loop transaction drivers on every partition.
+
+Each partition runs ``workers_per_partition × inflight_per_worker`` fibers.  A
+fiber repeatedly takes the next transaction from its workload stream, drives
+it through the cluster's protocol with exponential back-off on aborts
+(§6.1.3), hands the committed transaction to the durability scheme, and —
+without blocking on the group commit — moves on to the next transaction.  A
+separate completion fiber waits for the durability event so latency includes
+the ``return`` component without stalling the execution pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from ..commit.base import DURABLE
+from ..sim.network import NodeUnreachable
+from ..txn.transaction import AbortReason
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .cluster import Cluster
+    from .server import Server
+    from ..workloads.base import TxnSource
+
+__all__ = ["worker_loop"]
+
+
+def worker_loop(cluster: "Cluster", server: "Server", source: "TxnSource") -> Generator:
+    """The closed-loop driver for one worker fiber."""
+    config = cluster.config
+    protocol = cluster.protocol
+    durability = cluster.durability
+    env = cluster.env
+
+    while not cluster.stopped:
+        if server.crashed:
+            # The partition leader is down: idle until fail-over completes.
+            yield env.timeout(config.heartbeat_interval_us)
+            continue
+        if cluster.pause_event is not None and not cluster.pause_event.triggered:
+            # Recovery is quiescing the cluster: wait for it to finish.
+            yield cluster.pause_event
+            continue
+        gate = durability.admission_gate(server)
+        if gate is not None:
+            yield gate
+            continue
+
+        spec = source.next()
+        first_start = env.now
+        backoff_us = config.backoff_initial_us
+        total_backoff = 0.0
+
+        for _attempt in range(config.max_retries):
+            if cluster.stopped or server.crashed:
+                break
+            if cluster.pause_event is not None and not cluster.pause_event.triggered:
+                yield cluster.pause_event
+            txn = server.new_transaction(spec.name)
+            txn.first_start_time = first_start
+            txn.read_only = spec.read_only
+            txn.start_time = env.now
+            durability.transaction_begin(server)
+            try:
+                committed = yield from protocol.run_transaction(server, txn, spec.logic)
+            except NodeUnreachable:
+                # A participant crashed mid-transaction; clean up and retry.
+                protocol.release_locks_everywhere(txn)
+                txn.abort_reason = AbortReason.CRASH
+                committed = False
+            finally:
+                durability.transaction_finished(server)
+
+            if committed:
+                txn.add_breakdown("execute", txn.execute_end_time - txn.start_time)
+                txn.add_breakdown("backoff", total_backoff)
+                overhead = durability.execution_overhead_us(txn)
+                if overhead > 0:
+                    yield env.timeout(overhead)
+                cluster.record_commit(server, txn)
+                durable_event = durability.transaction_executed(server, txn)
+                env.process(
+                    _await_durability(cluster, server, txn, durable_event),
+                    name=f"await-durable-{txn.tid}",
+                )
+                break
+
+            cluster.record_abort(server, txn)
+            if txn.abort_reason is AbortReason.USER:
+                break
+            # Exponential back-off before retrying the aborted transaction.
+            yield env.timeout(backoff_us)
+            total_backoff += backoff_us
+            backoff_us = min(backoff_us * config.backoff_multiplier, config.backoff_max_us)
+
+
+def _await_durability(cluster: "Cluster", server: "Server", txn, durable_event) -> Generator:
+    """Completion fiber: record end-to-end latency once the result is durable."""
+    outcome = yield durable_event
+    txn.durable_time = cluster.env.now
+    txn.add_breakdown("return", max(0.0, txn.durable_time - txn.commit_end_time))
+    if outcome == DURABLE:
+        cluster.record_durable(server, txn)
+    else:
+        cluster.record_crash_abort(server, txn)

@@ -1,0 +1,36 @@
+"""Durability: write-ahead logging and the group-commit schemes of §6.4."""
+
+from .base import CRASH_ABORTED, DURABLE, DurabilityScheme
+from .clv import ControlledLockViolation
+from .coco import CocoGroupCommit
+from .logging import LogManager, LogRecord, LogRecordKind
+from .sync import SyncDurability
+
+__all__ = [
+    "CRASH_ABORTED",
+    "DURABLE",
+    "DurabilityScheme",
+    "ControlledLockViolation",
+    "CocoGroupCommit",
+    "LogManager",
+    "LogRecord",
+    "LogRecordKind",
+    "SyncDurability",
+]
+
+
+def create_durability_scheme(name: str, cluster) -> DurabilityScheme:
+    """Factory used by the cluster to instantiate the configured scheme."""
+    from ..core.watermark import WatermarkGroupCommit
+
+    schemes = {
+        "none": DurabilityScheme,
+        "sync": SyncDurability,
+        "coco": CocoGroupCommit,
+        "clv": ControlledLockViolation,
+        "wm": WatermarkGroupCommit,
+    }
+    try:
+        return schemes[name](cluster)
+    except KeyError as exc:
+        raise ValueError(f"unknown durability scheme {name!r}") from exc

@@ -1,0 +1,80 @@
+"""Durability-scheme interface.
+
+After a protocol has installed a transaction's writes (and released its
+locks), the transaction is *executed* but its result may not yet be returned
+to the client: the durability scheme decides when it is safe to acknowledge.
+This is where the schemes compared in §6.4 differ:
+
+* ``sync`` — flush the involved partitions' logs on the critical path;
+* ``coco`` — COCO's epoch-based synchronous distributed group commit;
+* ``clv``  — controlled lock violation (background flusher + dependency wait);
+* ``wm``   — Primo's watermark-based asynchronous group commit
+  (implemented in :mod:`repro.core.watermark`);
+* ``none`` — acknowledge immediately (unit tests and micro-benches).
+
+The worker loop calls :meth:`transaction_executed` and waits on the returned
+event; the event's value is ``"durable"`` or ``"crash_aborted"``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..sim.engine import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster.cluster import Cluster
+    from ..cluster.server import Server
+    from ..txn.transaction import Transaction
+
+__all__ = ["DurabilityScheme", "DURABLE", "CRASH_ABORTED"]
+
+DURABLE = "durable"
+CRASH_ABORTED = "crash_aborted"
+
+
+class DurabilityScheme:
+    """Base class: acknowledge immediately (the ``none`` scheme)."""
+
+    name = "none"
+
+    def __init__(self, cluster: "Cluster"):
+        self.cluster = cluster
+        self.env = cluster.env
+        self.config = cluster.config
+
+    def start(self) -> None:
+        """Spawn any background processes (epoch manager, flushers, ...)."""
+
+    def transaction_executed(self, server: "Server", txn: "Transaction") -> Event:
+        """Return an event that fires when the result may be returned."""
+        event = self.env.event()
+        event.succeed(DURABLE)
+        return event
+
+    def admission_gate(self, server: "Server") -> Optional[Event]:
+        """If non-None, the worker must wait on it before starting a transaction."""
+        return None
+
+    def transaction_begin(self, server: "Server") -> None:
+        """A worker started (an attempt of) a transaction on ``server``."""
+
+    def transaction_finished(self, server: "Server") -> None:
+        """The attempt finished executing (committed or aborted)."""
+
+    def execution_overhead_us(self, txn: "Transaction") -> float:
+        """Extra critical-path CPU time this scheme adds per transaction."""
+        return 0.0
+
+    def set_message_delay(self, partition_id: int, delay_us: float) -> None:
+        """Delay this scheme's own coordination messages from one partition.
+
+        Used by the watermark/epoch *lagging* experiment (Fig. 13a): only the
+        group-commit control messages are delayed, not data traffic.
+        """
+
+    def notify_crash(self, partition_id: int) -> None:
+        """A partition leader crashed; fail whatever cannot survive it."""
+
+    def notify_recovered(self, partition_id: int) -> None:
+        """The partition has a new leader and normal processing resumed."""

@@ -1,0 +1,168 @@
+"""Per-partition write-ahead log.
+
+Protocols append a redo/undo record per transaction per involved partition
+when they install the write-set; the durability scheme decides *when* the
+buffered tail gets persisted (synchronously, per epoch, per watermark
+interval, or by a background flusher).  Persistence itself is delegated to the
+partition's :class:`~repro.replication.raft.ReplicationGroup` — a quorum ack
+makes a prefix durable.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Generator, Optional
+
+from ..sim.engine import Environment, Event
+from ..replication.raft import ReplicationGroup
+
+__all__ = ["LogRecordKind", "LogRecord", "LogManager"]
+
+
+class LogRecordKind(enum.Enum):
+    WRITESET = "writeset"        # redo (+ undo before-images) of one transaction
+    WATERMARK = "watermark"      # persisted partition watermark (WM scheme)
+    EPOCH = "epoch"              # COCO epoch boundary marker
+    COMMIT_DECISION = "commit"   # 2PC coordinator commit decision
+    PREPARE = "prepare"          # 2PC participant prepare record
+
+
+@dataclass
+class LogRecord:
+    lsn: int
+    kind: LogRecordKind
+    txn_ts: Optional[float] = None
+    txn_tid: Any = None
+    payload: dict = field(default_factory=dict)
+    appended_at: float = 0.0
+
+
+class LogManager:
+    """Append-only log buffer with quorum-replicated flushes."""
+
+    def __init__(
+        self,
+        env: Environment,
+        partition_id: int,
+        replication: ReplicationGroup,
+        log_write_us: float = 15.0,
+    ):
+        self.env = env
+        self.partition_id = partition_id
+        self.replication = replication
+        self.log_write_us = log_write_us
+        self._next_lsn = 1
+        self._buffer: list[LogRecord] = []
+        self._all_records: list[LogRecord] = []
+        self.durable_lsn = 0
+        self._flush_in_progress = False
+        self._flush_waiters: list[Event] = []
+        self.stats = {"appends": 0, "flushes": 0, "records_flushed": 0}
+
+    # -- appends ----------------------------------------------------------------
+    def append(
+        self,
+        kind: LogRecordKind,
+        txn_ts: Optional[float] = None,
+        txn_tid: Any = None,
+        payload: Optional[dict] = None,
+    ) -> LogRecord:
+        record = LogRecord(
+            lsn=self._next_lsn,
+            kind=kind,
+            txn_ts=txn_ts,
+            txn_tid=txn_tid,
+            payload=payload or {},
+            appended_at=self.env.now,
+        )
+        self._next_lsn += 1
+        self._buffer.append(record)
+        self._all_records.append(record)
+        self.stats["appends"] += 1
+        return record
+
+    def append_writeset(self, txn, entries, before_images: dict) -> LogRecord:
+        """Append the redo/undo record for one transaction on this partition."""
+        payload = {
+            "writes": [
+                (entry.table, entry.key, dict(entry.updates), entry.is_insert, entry.is_delete)
+                for entry in entries
+            ],
+            "before_images": before_images,
+        }
+        return self.append(
+            LogRecordKind.WRITESET, txn_ts=txn.effective_ts(), txn_tid=txn.tid, payload=payload
+        )
+
+    # -- flush ------------------------------------------------------------------
+    @property
+    def last_lsn(self) -> int:
+        return self._next_lsn - 1
+
+    @property
+    def unpersisted_count(self) -> int:
+        return len(self._buffer)
+
+    def unpersisted_min_ts(self) -> Optional[float]:
+        """Minimum transaction timestamp among unpersisted write-set records."""
+        ts_values = [r.txn_ts for r in self._buffer if r.kind is LogRecordKind.WRITESET and r.txn_ts is not None]
+        return min(ts_values) if ts_values else None
+
+    def is_durable(self, lsn: int) -> bool:
+        return lsn <= self.durable_lsn
+
+    def flush(self) -> Generator[Event, object, int]:
+        """Persist everything appended so far; returns the new durable LSN.
+
+        Concurrent callers piggyback on the in-flight flush (group flush): the
+        second caller waits for the first flush to finish, then flushes any
+        remainder itself.
+        """
+        if self._flush_in_progress:
+            waiter = self.env.event()
+            self._flush_waiters.append(waiter)
+            yield waiter
+            if not self._buffer:
+                return self.durable_lsn
+        if not self._buffer:
+            return self.durable_lsn
+        self._flush_in_progress = True
+        batch, self._buffer = self._buffer, []
+        target_lsn = batch[-1].lsn
+        try:
+            # Serialise the batch locally, then replicate for the quorum ack.
+            yield self.env.timeout(self.log_write_us)
+            yield from self.replication.replicate(target_lsn, batch)
+        finally:
+            self._flush_in_progress = False
+            waiters, self._flush_waiters = self._flush_waiters, []
+            for waiter in waiters:
+                waiter.succeed(None)
+        self.durable_lsn = max(self.durable_lsn, target_lsn)
+        self.stats["flushes"] += 1
+        self.stats["records_flushed"] += len(batch)
+        return self.durable_lsn
+
+    # -- recovery helpers ----------------------------------------------------------
+    def records(self, kind: Optional[LogRecordKind] = None) -> list[LogRecord]:
+        if kind is None:
+            return list(self._all_records)
+        return [r for r in self._all_records if r.kind is kind]
+
+    def writeset_records_at_or_after(self, ts: float) -> list[LogRecord]:
+        """Write-set records with transaction timestamp >= ts (rollback targets)."""
+        return [
+            r
+            for r in self._all_records
+            if r.kind is LogRecordKind.WRITESET and r.txn_ts is not None and r.txn_ts >= ts
+        ]
+
+    def latest_persisted_watermark(self) -> float:
+        """The most recent partition watermark known durable (used at fail-over)."""
+        persisted = [
+            r.payload.get("watermark", 0.0)
+            for r in self._all_records
+            if r.kind is LogRecordKind.WATERMARK and r.lsn <= self.replication.highest_replicated_lsn()
+        ]
+        return max(persisted) if persisted else 0.0

@@ -1,0 +1,17 @@
+"""Primo's core contribution: WCF concurrency control, TicToc local execution,
+the watermark-based group commit and the Appendix A analytical model."""
+
+from .analysis import AnalysisParameters, ConflictRateModel
+from .primo import PrimoContext, PrimoProtocol
+from .tictoc import TicTocLocalExecutor, compute_commit_ts
+from .watermark import WatermarkGroupCommit
+
+__all__ = [
+    "AnalysisParameters",
+    "ConflictRateModel",
+    "PrimoContext",
+    "PrimoProtocol",
+    "TicTocLocalExecutor",
+    "compute_commit_ts",
+    "WatermarkGroupCommit",
+]

@@ -1,0 +1,344 @@
+"""Primo: write-conflict-free distributed concurrency control (WCF, §4).
+
+The protocol distinguishes local and distributed transactions at runtime:
+
+* a transaction starts in **local mode** and is processed with TicToc
+  (:mod:`repro.core.tictoc`) — reads take no locks;
+* on its first remote access it **switches to distributed mode**: the records
+  it has already read are exclusive-locked and re-validated, and from then on
+  every read (local or remote) acquires an exclusive lock (Algorithm 1);
+* because the read-set covers the write-set (blind writes are turned into
+  dummy reads), the commit phase can never encounter a conflict on any
+  partition, so the coordinator simply computes the TicToc commit timestamp,
+  installs local writes, and ships the remote write-sets with **one-way**
+  messages — no prepare round, no votes, no commit round (Fig. 1).
+
+Crash-induced aborts are not handled here at all: that is the job of the
+watermark-based group commit (:mod:`repro.core.watermark`), which decides when
+a transaction's result may be returned and which transactions get rolled back
+after a failure.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Generator, Optional
+
+from ..commit.logging import LogRecordKind
+from ..protocols.base import BaseProtocol, install_write_entries
+from ..storage.lock import LockMode, LockPolicy
+from ..txn.context import TxnContext
+from ..txn.transaction import (
+    AbortReason,
+    ReadEntry,
+    Transaction,
+    TxnAborted,
+    UserAbort,
+    WriteEntry,
+)
+from .tictoc import TicTocLocalExecutor, compute_commit_ts
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster.server import Server
+
+__all__ = ["PrimoProtocol", "PrimoContext"]
+
+LOCAL_MODE = "local"
+DISTRIBUTED_MODE = "distributed"
+
+
+class PrimoContext(TxnContext):
+    """Execution-phase context implementing Algorithm 1 at the coordinator."""
+
+    def __init__(self, protocol: "PrimoProtocol", server: "Server", txn: Transaction):
+        super().__init__(protocol, server, txn)
+        self.mode = LOCAL_MODE
+        # (partition, table, key) -> Record for records held locally.
+        self.records: dict = {}
+        self.tictoc = TicTocLocalExecutor(server)
+        # Partitions already contacted with a remote read; used to decide
+        # whether a dummy read for a blind write can be piggybacked (§4.2).
+        self.contacted_partitions: set[int] = set()
+
+    # -- reads -----------------------------------------------------------------
+    def _protocol_read(self, partition: int, table: str, key) -> Generator:
+        yield from self.protocol.cpu(self.protocol.config.cpu_record_access_us)
+        if self.is_local(partition):
+            value = yield from self._local_read(table, key)
+            return value
+        if self.mode == LOCAL_MODE:
+            yield from self._switch_to_distributed()
+        value = yield from self._remote_read(partition, table, key)
+        return value
+
+    def _local_read(self, table: str, key) -> Generator:
+        existing = self.txn.find_read(self.home_partition, table, key)
+        if existing is not None:
+            return dict(existing.value)
+        if self.mode == LOCAL_MODE:
+            record, entry = self.tictoc.read(self.txn, table, key)
+            if record is None:
+                raise TxnAborted(AbortReason.VALIDATION, f"missing record {table}:{key}")
+            self.records[(self.home_partition, table, key)] = record
+            return entry.value
+        # Distributed mode: exclusive-lock the record before reading (Line 6).
+        record = self.server.store.table(table).get(key)
+        if record is None:
+            raise TxnAborted(AbortReason.VALIDATION, f"missing record {table}:{key}")
+        ok = yield from self.server.store.lock_manager.acquire(
+            self.txn.tid, record, LockMode.EXCLUSIVE
+        )
+        if not ok:
+            raise TxnAborted(AbortReason.LOCK_CONFLICT, f"X-lock {table}:{key}")
+        entry = ReadEntry(
+            partition=self.home_partition,
+            table=table,
+            key=key,
+            value=record.snapshot(),
+            wts=record.wts,
+            rts=record.rts,
+            version=record.version,
+            locked=True,
+            local=True,
+        )
+        self.txn.add_read(entry)
+        if self.txn.lower_bound_ts == 0.0:
+            self.txn.lower_bound_ts = max(record.wts, self.server.ts_floor + 1)
+        self.records[(self.home_partition, table, key)] = record
+        return entry.value
+
+    def _remote_read(self, partition: int, table: str, key, dummy: bool = False) -> Generator:
+        existing = self.txn.find_read(partition, table, key)
+        if existing is not None:
+            return dict(existing.value)
+        status, value, wts, rts = yield from self.protocol.remote_read(
+            self.server, self.txn, partition, table, key
+        )
+        if status != "ok":
+            raise TxnAborted(AbortReason.LOCK_CONFLICT, f"remote read {table}:{key}: {status}")
+        entry = ReadEntry(
+            partition=partition,
+            table=table,
+            key=key,
+            value=value,
+            wts=wts,
+            rts=rts,
+            locked=True,
+            dummy=dummy,
+            local=False,
+        )
+        self.txn.add_read(entry)
+        self.contacted_partitions.add(partition)
+        return value
+
+    # -- the local -> distributed mode switch (§4.2.2) ---------------------------
+    def _switch_to_distributed(self) -> Generator:
+        lock_manager = self.server.store.lock_manager
+        for entry in list(self.txn.read_set):
+            if not entry.local or entry.locked:
+                continue
+            record = self.records.get((entry.partition, entry.table, entry.key))
+            if record is None:
+                continue
+            ok = yield from lock_manager.acquire(self.txn.tid, record, LockMode.EXCLUSIVE)
+            if not ok:
+                raise TxnAborted(AbortReason.MODE_SWITCH, "lock during mode switch")
+            if record.wts != entry.wts:
+                # The record changed while we read it without a lock: abort and
+                # let the retry run directly in distributed mode.
+                raise TxnAborted(AbortReason.MODE_SWITCH, "record changed before switch")
+            entry.locked = True
+        self.mode = DISTRIBUTED_MODE
+        self.txn.is_distributed = True
+
+    # -- writes --------------------------------------------------------------------
+    def _protocol_write(self, entry: WriteEntry) -> Generator:
+        yield from self.protocol.cpu(self.protocol.config.cpu_record_access_us)
+        covered = self.txn.write_covered_by_read(entry.partition, entry.table, entry.key)
+        if not covered and not entry.is_insert:
+            # Blind write: add a dummy read to acquire the exclusive lock so the
+            # commit phase stays conflict-free (§4.2 "Blind-write Handling").
+            if self.is_local(entry.partition):
+                if self.mode == DISTRIBUTED_MODE:
+                    yield from self._local_read(entry.table, entry.key)
+                # In local mode TicToc's write-set locking at validation covers it.
+            else:
+                if self.mode == LOCAL_MODE:
+                    yield from self._switch_to_distributed()
+                yield from self._remote_read(entry.partition, entry.table, entry.key, dummy=True)
+        elif not self.is_local(entry.partition) and self.mode == LOCAL_MODE:
+            yield from self._switch_to_distributed()
+        self.txn.add_write(entry)
+
+
+class PrimoProtocol(BaseProtocol):
+    """WCF + TicToc concurrency control (the commit path of Algorithm 1)."""
+
+    name = "primo"
+    lock_policy = LockPolicy.WAIT_DIE
+
+    def __init__(self, cluster):
+        super().__init__(cluster)
+        self._fallback = None
+        if self.config.primo_fallback_to_2pc:
+            from ..protocols.sundial import SundialProtocol
+
+            self._fallback = SundialProtocol(cluster)
+
+    # -- protocol interface --------------------------------------------------------
+    def create_context(self, server: "Server", txn: Transaction) -> PrimoContext:
+        return PrimoContext(self, server, txn)
+
+    def run_transaction(self, server: "Server", txn: Transaction,
+                        logic: Callable[[TxnContext], Generator]) -> Generator:
+        if self._fallback is not None:
+            # Read-heavy mostly-distributed fallback (§4.3): process every
+            # transaction with the 2PC-based TicToc baseline instead of WCF.
+            committed = yield from self._fallback.run_transaction(server, txn, logic)
+            return committed
+        # The commit timestamp is guaranteed to exceed the partition's current
+        # timestamp floor (§5.1 R2), so that is a sound lower bound to register
+        # for the watermark computation even before the first read happens.
+        txn.lower_bound_ts = max(txn.lower_bound_ts, server.ts_floor + 1)
+        server.active_txns.register(txn)
+        try:
+            context = yield from self._execute_logic(server, txn, logic)
+            txn.execute_end_time = self.env.now
+            yield from self._commit(server, txn, context)
+            return True
+        except UserAbort:
+            self._cleanup_abort(server, txn)
+            txn.abort_reason = AbortReason.USER
+            return False
+        except TxnAborted as aborted:
+            self._cleanup_abort(server, txn)
+            if txn.abort_reason is None:
+                txn.abort_reason = aborted.reason
+            return False
+        finally:
+            server.active_txns.deregister(txn)
+
+    # -- commit phase -----------------------------------------------------------------
+    def _commit(self, server: "Server", txn: Transaction, context: PrimoContext) -> Generator:
+        commit_start = self.env.now
+        if context.mode == LOCAL_MODE:
+            yield from context.tictoc.validate_and_commit(txn, context.records)
+            txn.add_breakdown("commit", self.env.now - commit_start)
+            txn.commit_end_time = self.env.now
+            return
+
+        # Distributed mode (no validation needed, Lines 16-32 of Algorithm 1).
+        ts_start = self.env.now
+        commit_ts = compute_commit_ts(txn, server.ts_floor)
+        txn.ts = commit_ts
+        txn.add_breakdown("timestamp", self.env.now - ts_start)
+
+        lock_manager = server.store.lock_manager
+        # Extend the valid interval of local reads so commit_ts fits.
+        for entry in txn.reads_for_partition(server.partition_id):
+            record = context.records.get((entry.partition, entry.table, entry.key))
+            if record is not None:
+                record.extend_rts(commit_ts)
+        # Install local writes and release local locks immediately.
+        local_writes = txn.writes_for_partition(server.partition_id)
+        yield from self.cpu(self.config.cpu_record_access_us * max(1, len(local_writes)))
+        install_write_entries(server, txn, local_writes, commit_ts)
+        lock_manager.release_all(txn.tid)
+        server.note_ts(commit_ts)
+
+        # Log the full write-set (including remote portions) at the
+        # coordinator so recovery can re-deliver writes whose one-way commit
+        # message was lost when a participant crashed (see
+        # RecoveryCoordinator.redeliver_lost_writes).
+        if txn.participants:
+            server.log.append(
+                LogRecordKind.COMMIT_DECISION,
+                txn_ts=commit_ts,
+                txn_tid=txn.tid,
+                payload={
+                    "participants": sorted(txn.participants),
+                    "remote_writes": {
+                        partition: [
+                            (w.table, w.key, dict(w.updates), w.is_insert, w.is_delete)
+                            for w in txn.writes_for_partition(partition)
+                        ]
+                        for partition in txn.participants
+                    },
+                },
+            )
+
+        # Ship the remote write-sets (plus the read keys whose rts must be
+        # extended) with one-way messages; no acknowledgement is awaited.
+        for partition in sorted(txn.participants):
+            writes = txn.writes_for_partition(partition)
+            read_keys = [
+                (entry.table, entry.key) for entry in txn.reads_for_partition(partition)
+            ]
+            self.network.send(
+                server.partition_id,
+                partition,
+                self._participant_commit,
+                partition,
+                txn,
+                commit_ts,
+                writes,
+                read_keys,
+            )
+        txn.add_breakdown("commit", self.env.now - commit_start)
+        txn.commit_end_time = self.env.now
+
+    def _participant_commit(self, partition: int, txn: Transaction, commit_ts: float,
+                            writes: list, read_keys: list) -> Generator:
+        """Runs at a participant when the coordinator's write-set message arrives."""
+        participant = self.server_of(partition)
+        if participant.crashed:
+            return
+        yield from self.cpu(self.config.cpu_record_access_us * max(1, len(writes)))
+        for table, key in read_keys:
+            record = participant.store.table(table).get(key)
+            if record is not None:
+                record.extend_rts(commit_ts)
+        install_write_entries(participant, txn, writes, commit_ts)
+        participant.store.lock_manager.release_all(txn.tid)
+        participant.active_txns.deregister(txn)
+        participant.note_ts(commit_ts)
+
+    # -- remote reads (participant side of the execution phase) ------------------------
+    def remote_read(self, server: "Server", txn: Transaction, partition: int,
+                    table: str, key) -> Generator:
+        target = self.server_of(partition)
+
+        def handler() -> Generator:
+            if target.crashed:
+                return ("crashed", None, 0.0, 0.0)
+            record = target.store.table(table).get(key)
+            if record is None:
+                return ("missing", None, 0.0, 0.0)
+            ok = yield from target.store.lock_manager.acquire(
+                txn.tid, record, LockMode.EXCLUSIVE
+            )
+            if not ok:
+                return ("conflict", None, 0.0, 0.0)
+            # Watermark requirement R2 (§5.1): make sure the final commit
+            # timestamp will exceed this partition's published watermark.
+            floor = target.ts_floor
+            if record.wts <= floor:
+                record.wts = floor + 1
+                record.rts = max(record.rts, floor + 1)
+            target.active_txns.register(txn, lower_bound=record.wts)
+            return ("ok", record.snapshot(), record.wts, record.rts)
+
+        result = yield from self.network.rpc(server.partition_id, partition, handler)
+        return result
+
+    # -- abort handling -------------------------------------------------------------------
+    def _cleanup_abort(self, server: "Server", txn: Transaction) -> None:
+        server.store.lock_manager.release_all(txn.tid)
+        for partition in txn.participants:
+            self.network.send(
+                server.partition_id, partition, self._participant_abort, partition, txn
+            )
+
+    def _participant_abort(self, partition: int, txn: Transaction) -> None:
+        participant = self.server_of(partition)
+        participant.store.lock_manager.release_all(txn.tid)
+        participant.active_txns.deregister(txn)

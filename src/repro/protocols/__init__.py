@@ -1,0 +1,41 @@
+"""Concurrency-control protocols: Primo and the six baselines of §6.1.1."""
+
+from .aria import AriaProtocol
+from .base import BaseProtocol, install_write_entries
+from .silo import SiloProtocol
+from .sundial import SundialProtocol
+from .tapir import TapirProtocol
+from .two_pc import TwoPhaseCommitMixin
+from .two_pl import TwoPLNoWaitProtocol, TwoPLWaitDieProtocol
+
+__all__ = [
+    "AriaProtocol",
+    "BaseProtocol",
+    "SiloProtocol",
+    "SundialProtocol",
+    "TapirProtocol",
+    "TwoPhaseCommitMixin",
+    "TwoPLNoWaitProtocol",
+    "TwoPLWaitDieProtocol",
+    "install_write_entries",
+    "create_protocol",
+]
+
+
+def create_protocol(name: str, cluster) -> BaseProtocol:
+    """Factory used by the cluster to instantiate the configured protocol."""
+    from ..core.primo import PrimoProtocol
+
+    protocols = {
+        "primo": PrimoProtocol,
+        "2pl_nw": TwoPLNoWaitProtocol,
+        "2pl_wd": TwoPLWaitDieProtocol,
+        "silo": SiloProtocol,
+        "sundial": SundialProtocol,
+        "aria": AriaProtocol,
+        "tapir": TapirProtocol,
+    }
+    try:
+        return protocols[name](cluster)
+    except KeyError as exc:
+        raise ValueError(f"unknown protocol {name!r}") from exc

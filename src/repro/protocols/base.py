@@ -1,0 +1,147 @@
+"""Protocol interface and the helpers shared by every concurrency-control scheme.
+
+A protocol is instantiated once per cluster and is given the coordinating
+server plus the transaction whenever the worker loop runs an attempt:
+
+    outcome = yield from protocol.run_transaction(server, txn, logic)
+
+``logic`` is the workload's transaction body (a generator taking a
+:class:`~repro.txn.context.TxnContext`).  The returned outcome is ``True`` for
+commit and ``False`` for abort; on abort ``txn.abort_reason`` says why, which
+the worker uses to decide whether to retry.
+
+Shared helpers implemented here:
+
+* routing (which server owns a partition, local vs. remote),
+* the write-set installer used by every protocol's commit phase (applies
+  updates/inserts/deletes, bumps TicToc timestamps, collects before-images and
+  appends the partition's redo/undo log record),
+* remote index lookups,
+* per-operation CPU cost accounting.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable, Optional
+
+from ..storage.lock import LockMode, LockPolicy
+from ..storage.table import TableError
+from ..txn.context import TxnContext
+from ..txn.transaction import AbortReason, Transaction, TxnAborted, WriteEntry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster.cluster import Cluster
+    from ..cluster.server import Server
+
+__all__ = ["BaseProtocol", "install_write_entries"]
+
+
+def install_write_entries(server: "Server", txn: Transaction, entries: Iterable[WriteEntry],
+                          commit_ts: float, log: bool = True) -> dict:
+    """Apply a transaction's buffered writes to one partition's storage.
+
+    Returns the before-images (key -> previous value or ``None`` for inserts)
+    and, when ``log`` is true, appends the partition's redo/undo record so the
+    durability scheme can persist it.
+    """
+    before_images: dict = {}
+    entries = list(entries)
+    for entry in entries:
+        table = server.store.table(entry.table)
+        if entry.is_insert:
+            before_images[(entry.table, entry.key)] = None
+            try:
+                record = table.insert(entry.key, entry.updates)
+            except TableError:
+                # The record exists (e.g. a retried attempt already inserted
+                # it); treat as an overwrite so retries stay idempotent.
+                record = table.require(entry.key)
+                record.install_fields(entry.updates, commit_ts)
+                continue
+            record.wts = commit_ts
+            record.rts = commit_ts
+        elif entry.is_delete:
+            record = table.get(entry.key)
+            if record is not None:
+                before_images[(entry.table, entry.key)] = record.snapshot()
+                table.delete(entry.key)
+        else:
+            record = table.require(entry.key)
+            before_images[(entry.table, entry.key)] = record.snapshot()
+            record.install_fields(entry.updates, commit_ts)
+    if log and entries:
+        server.log.append_writeset(txn, entries, before_images)
+    return before_images
+
+
+class BaseProtocol:
+    """Abstract protocol; subclasses implement the context and commit path."""
+
+    name = "base"
+    #: Lock policy installed on every partition's lock manager.
+    lock_policy = LockPolicy.WAIT_DIE
+    #: Aria replaces the per-worker closed loop with its own batch runner.
+    runs_own_loop = False
+
+    def __init__(self, cluster: "Cluster"):
+        self.cluster = cluster
+        self.env = cluster.env
+        self.config = cluster.config
+        self.network = cluster.network
+
+    # -- topology helpers ---------------------------------------------------
+    def server_of(self, partition: int) -> "Server":
+        return self.cluster.servers[partition]
+
+    def cpu(self, duration_us: float) -> Generator:
+        """Charge CPU time on the coordinator's critical path."""
+        if duration_us > 0:
+            yield self.env.timeout(duration_us)
+
+    # -- operations shared by all contexts ------------------------------------
+    def index_lookup(self, server: "Server", txn: Transaction, partition: int,
+                     table: str, index: str, index_key) -> Generator:
+        """Secondary-index lookup (not transactionally protected, like DBx1000)."""
+        yield from self.cpu(self.config.cpu_record_access_us)
+        if partition == server.partition_id:
+            return server.store.table(table).index_lookup(index, index_key)
+        target = self.server_of(partition)
+
+        def remote_lookup():
+            return target.store.table(table).index_lookup(index, index_key)
+
+        keys = yield from self.network.rpc(server.partition_id, partition, remote_lookup)
+        return keys
+
+    # -- protocol interface --------------------------------------------------
+    def create_context(self, server: "Server", txn: Transaction) -> TxnContext:
+        raise NotImplementedError
+
+    def run_transaction(self, server: "Server", txn: Transaction,
+                        logic: Callable[[TxnContext], Generator]) -> Generator:
+        """Run one attempt; returns True on commit, False on abort."""
+        raise NotImplementedError
+
+    # -- common execution-phase driver ------------------------------------------
+    def _execute_logic(self, server: "Server", txn: Transaction,
+                       logic: Callable[[TxnContext], Generator]) -> Generator:
+        """Drive the workload logic with this protocol's context.
+
+        Charges the per-transaction compute cost and lets :class:`TxnAborted`
+        propagate to the caller (which performs protocol-specific cleanup).
+        """
+        context = self.create_context(server, txn)
+        yield from self.cpu(self.config.cpu_txn_logic_us)
+        yield from logic(context)
+        return context
+
+    # -- abort helpers ------------------------------------------------------------
+    def _abort(self, txn: Transaction, reason: AbortReason, detail: str = "") -> None:
+        txn.abort_reason = reason
+        raise TxnAborted(reason, detail)
+
+    def release_locks_everywhere(self, txn: Transaction) -> None:
+        """Best-effort lock release on every partition (abort/crash cleanup)."""
+        for partition in txn.all_partitions():
+            server = self.server_of(partition)
+            server.store.lock_manager.release_all(txn.tid)

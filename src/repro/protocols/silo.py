@@ -1,0 +1,204 @@
+"""Silo-style OCC + 2PC (the distributed variant used in COCO).
+
+Execution phase: reads take no locks and record the observed version; writes
+are buffered.  Commit phase runs over 2PC: *prepare* locks the write-set
+records (NO_WAIT style — a lock conflict votes NO) and validates the
+partition's portion of the read-set (version unchanged and not locked by
+another transaction); *commit* installs the writes and releases.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Generator
+
+from ..commit.logging import LogRecordKind
+from ..storage.lock import LockMode, LockPolicy
+from ..txn.context import TxnContext
+from ..txn.transaction import (
+    AbortReason,
+    ReadEntry,
+    Transaction,
+    TxnAborted,
+    UserAbort,
+    WriteEntry,
+)
+from .base import BaseProtocol, install_write_entries
+from .two_pc import TwoPhaseCommitMixin
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster.server import Server
+
+__all__ = ["SiloProtocol", "SiloContext"]
+
+
+class SiloContext(TxnContext):
+    """OCC execution phase: version-stamped reads, buffered writes."""
+
+    def __init__(self, protocol, server, txn):
+        super().__init__(protocol, server, txn)
+        self.records: dict = {}
+
+    def _protocol_read(self, partition: int, table: str, key) -> Generator:
+        yield from self.protocol.cpu(self.protocol.config.cpu_record_access_us)
+        existing = self.txn.find_read(partition, table, key)
+        if existing is not None:
+            return dict(existing.value)
+        if self.is_local(partition):
+            record = self.server.store.table(table).get(key)
+            if record is None:
+                raise TxnAborted(AbortReason.VALIDATION, f"missing record {table}:{key}")
+            entry = ReadEntry(
+                partition=partition, table=table, key=key,
+                value=record.snapshot(), wts=record.wts, rts=record.rts,
+                version=record.version, locked=False, local=True,
+            )
+            self.records[(partition, table, key)] = record
+            self.txn.add_read(entry)
+            return entry.value
+        status, value, version = yield from self.protocol.remote_read(
+            self.server, self.txn, partition, table, key
+        )
+        if status != "ok":
+            raise TxnAborted(AbortReason.VALIDATION, f"remote read {table}:{key}")
+        entry = ReadEntry(
+            partition=partition, table=table, key=key,
+            value=value, version=version, locked=False, local=False,
+        )
+        self.txn.add_read(entry)
+        return value
+
+    def _protocol_write(self, entry: WriteEntry) -> Generator:
+        yield from self.protocol.cpu(self.protocol.config.cpu_record_access_us)
+        self.txn.add_write(entry)
+
+
+class SiloProtocol(TwoPhaseCommitMixin, BaseProtocol):
+    name = "silo"
+    lock_policy = LockPolicy.NO_WAIT
+
+    def create_context(self, server: "Server", txn: Transaction) -> SiloContext:
+        return SiloContext(self, server, txn)
+
+    def run_transaction(self, server: "Server", txn: Transaction,
+                        logic: Callable[[TxnContext], Generator]) -> Generator:
+        try:
+            context = yield from self._execute_logic(server, txn, logic)
+            txn.execute_end_time = self.env.now
+            if txn.is_distributed:
+                yield from self.run_two_phase_commit(server, txn, context)
+            else:
+                yield from self._commit_single_partition(server, txn, context)
+            txn.commit_end_time = self.env.now
+            return True
+        except UserAbort:
+            self._cleanup_abort(server, txn)
+            txn.abort_reason = AbortReason.USER
+            return False
+        except TxnAborted as aborted:
+            self._cleanup_abort(server, txn)
+            if txn.abort_reason is None:
+                txn.abort_reason = aborted.reason
+            return False
+
+    # -- execution-phase remote read -----------------------------------------------
+    def remote_read(self, server: "Server", txn: Transaction, partition: int,
+                    table: str, key) -> Generator:
+        target = self.server_of(partition)
+
+        def handler():
+            if target.crashed:
+                return ("crashed", None, 0)
+            record = target.store.table(table).get(key)
+            if record is None:
+                return ("missing", None, 0)
+            return ("ok", record.snapshot(), record.version)
+
+        result = yield from self.network.rpc(server.partition_id, partition, handler)
+        return result
+
+    # -- validation helpers ------------------------------------------------------------
+    def _lock_and_validate(self, server: "Server", txn: Transaction,
+                           writes: list, reads: list) -> Generator:
+        """Silo prepare work for one partition: lock writes, validate reads."""
+        lock_manager = server.store.lock_manager
+        for entry in sorted(writes, key=lambda w: (w.table, str(w.key))):
+            record = server.store.table(entry.table).get(entry.key)
+            if record is None:
+                if entry.is_insert:
+                    continue
+                return False
+            granted = lock_manager.try_acquire(txn.tid, record, LockMode.EXCLUSIVE)
+            if not granted:
+                return False
+        written = {(w.table, w.key) for w in writes}
+        for entry in reads:
+            record = server.store.table(entry.table).get(entry.key)
+            if record is None:
+                return False
+            if record.version != entry.version:
+                return False
+            if (entry.table, entry.key) in written:
+                continue
+            holders = lock_manager.holders_of(record)
+            if any(holder != txn.tid for holder in holders):
+                return False
+        yield from self.cpu(self.config.cpu_record_access_us * max(1, len(writes) + len(reads)))
+        return True
+
+    # -- single-partition fast path ------------------------------------------------------
+    def _commit_single_partition(self, server: "Server", txn: Transaction, context) -> Generator:
+        commit_start = self.env.now
+        ok = yield from self._lock_and_validate(
+            server, txn,
+            txn.writes_for_partition(server.partition_id),
+            txn.reads_for_partition(server.partition_id),
+        )
+        if not ok:
+            self._abort(txn, AbortReason.VALIDATION, "silo local validation")
+        commit_ts = server.highest_ts_seen + 1
+        txn.ts = commit_ts
+        install_write_entries(server, txn, txn.write_set, commit_ts)
+        server.store.lock_manager.release_all(txn.tid)
+        server.note_ts(commit_ts)
+        txn.add_breakdown("commit", self.env.now - commit_start)
+
+    # -- 2PC hooks --------------------------------------------------------------------------
+    def prepare_local(self, server: "Server", txn: Transaction, context) -> Generator:
+        ok = yield from self._lock_and_validate(
+            server, txn,
+            txn.writes_for_partition(server.partition_id),
+            txn.reads_for_partition(server.partition_id),
+        )
+        return ok
+
+    def prepare_participant(self, participant: "Server", txn: Transaction,
+                            writes: list, reads: list, commit_ts) -> Generator:
+        if participant.crashed:
+            return False
+        ok = yield from self._lock_and_validate(participant, txn, writes, reads)
+        if ok:
+            participant.log.append(LogRecordKind.PREPARE, txn_ts=commit_ts, txn_tid=txn.tid)
+        return ok
+
+    def commit_local(self, server: "Server", txn: Transaction, context, commit_ts) -> Generator:
+        local_writes = txn.writes_for_partition(server.partition_id)
+        yield from self.cpu(self.config.cpu_record_access_us * max(1, len(local_writes)))
+        install_write_entries(server, txn, local_writes, commit_ts)
+        server.store.lock_manager.release_all(txn.tid)
+
+    def commit_participant(self, participant: "Server", txn: Transaction,
+                           writes: list, reads: list, commit_ts) -> Generator:
+        if participant.crashed:
+            return
+        yield from self.cpu(self.config.cpu_record_access_us * max(1, len(writes)))
+        install_write_entries(participant, txn, writes, commit_ts)
+        participant.store.lock_manager.release_all(txn.tid)
+        participant.note_ts(commit_ts)
+
+    def _cleanup_abort(self, server: "Server", txn: Transaction) -> None:
+        server.store.lock_manager.release_all(txn.tid)
+        for partition in txn.participants:
+            participant = self.server_of(partition)
+            self.network.send(
+                server.partition_id, partition, self.abort_participant, participant, txn
+            )

@@ -1,0 +1,154 @@
+"""Two-phase commit, shared by the 2PC-based baselines (§2.1).
+
+The coordinator runs the commit phase of a distributed transaction as:
+
+1. **Prepare** — in parallel, each participant receives the write-set destined
+   for it (Unsolicited-Vote: the writes ride along with the PREPARE message),
+   performs the protocol-specific prepare work (lock upgrades for 2PL,
+   validation for Silo/Sundial), appends a prepare log record and votes.
+2. **Commit/Abort** — if every vote is YES the coordinator logs the commit
+   decision, installs its local writes, and sends COMMIT to the participants,
+   which install their writes, log, release locks and acknowledge.  A NO vote
+   (or an unreachable participant) turns the round into ABORT (Presumed-Abort:
+   the abort decision is not logged).
+
+Log records are appended here but *not* flushed — durability is the group
+commit scheme's job, exactly as the paper configures the baselines (§6.1.3).
+The two network round trips charged here are what Primo removes from the
+contention footprint.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from ..commit.logging import LogRecordKind
+from ..sim.engine import all_of
+from ..sim.network import NodeUnreachable
+from ..txn.transaction import AbortReason, Transaction, TxnAborted
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster.server import Server
+
+__all__ = ["TwoPhaseCommitMixin"]
+
+
+class TwoPhaseCommitMixin:
+    """Commit-phase driver; protocols provide the prepare/commit hooks."""
+
+    # -- hooks every 2PC-based protocol implements -------------------------------
+    def prepare_local(self, server: "Server", txn: Transaction, context) -> Generator:
+        """Coordinator-side prepare; return True to vote YES."""
+        raise NotImplementedError
+
+    def prepare_participant(self, participant: "Server", txn: Transaction,
+                            writes: list, reads: list, commit_ts) -> Generator:
+        """Participant-side prepare; return True to vote YES."""
+        raise NotImplementedError
+
+    def commit_local(self, server: "Server", txn: Transaction, context, commit_ts) -> Generator:
+        raise NotImplementedError
+
+    def commit_participant(self, participant: "Server", txn: Transaction,
+                           writes: list, reads: list, commit_ts) -> Generator:
+        raise NotImplementedError
+
+    def abort_participant(self, participant: "Server", txn: Transaction) -> None:
+        participant.store.lock_manager.release_all(txn.tid)
+
+    def choose_commit_ts(self, server: "Server", txn: Transaction, context) -> float:
+        """Logical install timestamp (protocols may override, e.g. Sundial)."""
+        return server.highest_ts_seen + 1
+
+    # -- the 2PC driver ------------------------------------------------------------
+    def run_two_phase_commit(self, server: "Server", txn: Transaction, context) -> Generator:
+        """Run prepare + commit; raises :class:`TxnAborted` if any vote is NO."""
+        two_pc_start = self.env.now
+        commit_ts = self.choose_commit_ts(server, txn, context)
+        txn.ts = commit_ts
+
+        # ---- prepare phase -------------------------------------------------
+        local_vote = yield from self.prepare_local(server, txn, context)
+        votes = [local_vote]
+        participant_calls = []
+        for partition in sorted(txn.participants):
+            participant = self.server_of(partition)
+            writes = txn.writes_for_partition(partition)
+            reads = txn.reads_for_partition(partition)
+            participant_calls.append(
+                self.env.process(
+                    self._prepare_rpc(server, participant, txn, writes, reads, commit_ts),
+                    name=f"2pc-prepare-{txn.tid}-p{partition}",
+                )
+            )
+        if participant_calls:
+            remote_votes = yield all_of(self.env, participant_calls)
+            votes.extend(bool(v) and not isinstance(v, Exception) for v in remote_votes)
+        txn.add_breakdown("2pc", self.env.now - two_pc_start)
+
+        if not all(votes):
+            self._abort_everywhere(server, txn)
+            self._abort(txn, AbortReason.LOCK_CONFLICT, "2PC prepare voted NO")
+
+        # ---- commit phase ---------------------------------------------------
+        commit_start = self.env.now
+        server.log.append(
+            LogRecordKind.COMMIT_DECISION, txn_ts=commit_ts, txn_tid=txn.tid
+        )
+        yield from self.commit_local(server, txn, context, commit_ts)
+        commit_calls = []
+        for partition in sorted(txn.participants):
+            participant = self.server_of(partition)
+            writes = txn.writes_for_partition(partition)
+            reads = txn.reads_for_partition(partition)
+            commit_calls.append(
+                self.env.process(
+                    self._commit_rpc(server, participant, txn, writes, reads, commit_ts),
+                    name=f"2pc-commit-{txn.tid}-p{partition}",
+                )
+            )
+        if commit_calls:
+            yield all_of(self.env, commit_calls)
+        server.note_ts(commit_ts)
+        txn.add_breakdown("commit", self.env.now - commit_start)
+        return commit_ts
+
+    # -- RPC wrappers -----------------------------------------------------------------
+    def _prepare_rpc(self, server, participant, txn, writes, reads, commit_ts):
+        def handler():
+            result = yield from self.prepare_participant(participant, txn, writes, reads, commit_ts)
+            return result
+
+        try:
+            vote = yield from self.network.rpc(
+                server.partition_id, participant.partition_id, handler
+            )
+        except NodeUnreachable:
+            return False
+        return vote
+
+    def _commit_rpc(self, server, participant, txn, writes, reads, commit_ts):
+        def handler():
+            yield from self.commit_participant(participant, txn, writes, reads, commit_ts)
+            return True
+
+        try:
+            yield from self.network.rpc(
+                server.partition_id, participant.partition_id, handler
+            )
+        except NodeUnreachable:
+            return False
+        return True
+
+    # -- abort path ----------------------------------------------------------------------
+    def _abort_everywhere(self, server: "Server", txn: Transaction) -> None:
+        server.store.lock_manager.release_all(txn.tid)
+        for partition in txn.participants:
+            participant = self.server_of(partition)
+            self.network.send(
+                server.partition_id,
+                partition,
+                self.abort_participant,
+                participant,
+                txn,
+            )

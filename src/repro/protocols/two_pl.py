@@ -1,0 +1,202 @@
+"""2PL + 2PC baselines (Spanner-style, §2.1).
+
+Execution phase: every read takes a *shared* lock (remote reads do so at the
+participant via an RPC); writes are buffered.  Commit phase: standard 2PC
+(see :mod:`repro.protocols.two_pc`) where prepare upgrades the locks of the
+write-set to exclusive and installs nothing until the commit decision.
+
+Two variants differ only in the deadlock-handling policy:
+
+* ``2pl_nw`` — NO_WAIT: a conflicting lock request aborts immediately;
+* ``2pl_wd`` — WAIT_DIE: older transactions wait, younger ones abort.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Generator
+
+from ..commit.logging import LogRecordKind
+from ..storage.lock import LockMode, LockPolicy
+from ..txn.context import TxnContext
+from ..txn.transaction import (
+    AbortReason,
+    ReadEntry,
+    Transaction,
+    TxnAborted,
+    UserAbort,
+    WriteEntry,
+)
+from .base import BaseProtocol, install_write_entries
+from .two_pc import TwoPhaseCommitMixin
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster.server import Server
+
+__all__ = ["TwoPLNoWaitProtocol", "TwoPLWaitDieProtocol", "TwoPLContext"]
+
+
+class TwoPLContext(TxnContext):
+    """Execution-phase context: shared locks for reads, buffered writes."""
+
+    def __init__(self, protocol, server, txn):
+        super().__init__(protocol, server, txn)
+        self.records: dict = {}
+
+    def _protocol_read(self, partition: int, table: str, key) -> Generator:
+        yield from self.protocol.cpu(self.protocol.config.cpu_record_access_us)
+        existing = self.txn.find_read(partition, table, key)
+        if existing is not None:
+            return dict(existing.value)
+        if self.is_local(partition):
+            record = self.server.store.table(table).get(key)
+            if record is None:
+                raise TxnAborted(AbortReason.VALIDATION, f"missing record {table}:{key}")
+            ok = yield from self.server.store.lock_manager.acquire(
+                self.txn.tid, record, LockMode.SHARED
+            )
+            if not ok:
+                raise TxnAborted(AbortReason.LOCK_CONFLICT, f"S-lock {table}:{key}")
+            entry = ReadEntry(
+                partition=partition, table=table, key=key,
+                value=record.snapshot(), wts=record.wts, rts=record.rts,
+                version=record.version, locked=True, local=True,
+            )
+            self.records[(partition, table, key)] = record
+            self.txn.add_read(entry)
+            return entry.value
+        status, value, version = yield from self.protocol.remote_read(
+            self.server, self.txn, partition, table, key
+        )
+        if status != "ok":
+            raise TxnAborted(AbortReason.LOCK_CONFLICT, f"remote S-lock {table}:{key}")
+        entry = ReadEntry(
+            partition=partition, table=table, key=key,
+            value=value, version=version, locked=True, local=False,
+        )
+        self.txn.add_read(entry)
+        return value
+
+    def _protocol_write(self, entry: WriteEntry) -> Generator:
+        yield from self.protocol.cpu(self.protocol.config.cpu_record_access_us)
+        self.txn.add_write(entry)
+
+
+class TwoPLNoWaitProtocol(TwoPhaseCommitMixin, BaseProtocol):
+    """2PL with NO_WAIT deadlock prevention + 2PC."""
+
+    name = "2pl_nw"
+    lock_policy = LockPolicy.NO_WAIT
+
+    # -- protocol interface -----------------------------------------------------
+    def create_context(self, server: "Server", txn: Transaction) -> TwoPLContext:
+        return TwoPLContext(self, server, txn)
+
+    def run_transaction(self, server: "Server", txn: Transaction,
+                        logic: Callable[[TxnContext], Generator]) -> Generator:
+        try:
+            context = yield from self._execute_logic(server, txn, logic)
+            txn.execute_end_time = self.env.now
+            yield from self.run_two_phase_commit(server, txn, context)
+            txn.commit_end_time = self.env.now
+            return True
+        except UserAbort:
+            self._cleanup_abort(server, txn)
+            txn.abort_reason = AbortReason.USER
+            return False
+        except TxnAborted as aborted:
+            self._cleanup_abort(server, txn)
+            if txn.abort_reason is None:
+                txn.abort_reason = aborted.reason
+            return False
+
+    # -- execution-phase remote read ------------------------------------------------
+    def remote_read(self, server: "Server", txn: Transaction, partition: int,
+                    table: str, key) -> Generator:
+        target = self.server_of(partition)
+
+        def handler() -> Generator:
+            if target.crashed:
+                return ("crashed", None, 0)
+            record = target.store.table(table).get(key)
+            if record is None:
+                return ("missing", None, 0)
+            ok = yield from target.store.lock_manager.acquire(
+                txn.tid, record, LockMode.SHARED
+            )
+            if not ok:
+                return ("conflict", None, 0)
+            return ("ok", record.snapshot(), record.version)
+
+        result = yield from self.network.rpc(server.partition_id, partition, handler)
+        return result
+
+    # -- 2PC hooks ----------------------------------------------------------------------
+    def prepare_local(self, server: "Server", txn: Transaction, context) -> Generator:
+        ok = yield from self._upgrade_write_locks(server, txn, context)
+        return ok
+
+    def prepare_participant(self, participant: "Server", txn: Transaction,
+                            writes: list, reads: list, commit_ts) -> Generator:
+        if participant.crashed:
+            return False
+        yield from self.cpu(self.config.cpu_record_access_us * max(1, len(writes)))
+        for entry in writes:
+            record = participant.store.table(entry.table).get(entry.key)
+            if record is None:
+                if entry.is_insert:
+                    continue
+                return False
+            ok = yield from participant.store.lock_manager.acquire(
+                txn.tid, record, LockMode.EXCLUSIVE
+            )
+            if not ok:
+                return False
+        participant.log.append(LogRecordKind.PREPARE, txn_ts=commit_ts, txn_tid=txn.tid)
+        return True
+
+    def commit_local(self, server: "Server", txn: Transaction, context, commit_ts) -> Generator:
+        local_writes = txn.writes_for_partition(server.partition_id)
+        yield from self.cpu(self.config.cpu_record_access_us * max(1, len(local_writes)))
+        install_write_entries(server, txn, local_writes, commit_ts)
+        server.store.lock_manager.release_all(txn.tid)
+
+    def commit_participant(self, participant: "Server", txn: Transaction,
+                           writes: list, reads: list, commit_ts) -> Generator:
+        if participant.crashed:
+            return
+        yield from self.cpu(self.config.cpu_record_access_us * max(1, len(writes)))
+        install_write_entries(participant, txn, writes, commit_ts)
+        participant.store.lock_manager.release_all(txn.tid)
+        participant.note_ts(commit_ts)
+
+    # -- helpers --------------------------------------------------------------------------
+    def _upgrade_write_locks(self, server: "Server", txn: Transaction, context) -> Generator:
+        for entry in txn.writes_for_partition(server.partition_id):
+            record = context.records.get((entry.partition, entry.table, entry.key))
+            if record is None:
+                record = server.store.table(entry.table).get(entry.key)
+                if record is None:
+                    if entry.is_insert:
+                        continue
+                    return False
+            ok = yield from server.store.lock_manager.acquire(
+                txn.tid, record, LockMode.EXCLUSIVE
+            )
+            if not ok:
+                return False
+        return True
+
+    def _cleanup_abort(self, server: "Server", txn: Transaction) -> None:
+        server.store.lock_manager.release_all(txn.tid)
+        for partition in txn.participants:
+            participant = self.server_of(partition)
+            self.network.send(
+                server.partition_id, partition, self.abort_participant, participant, txn
+            )
+
+
+class TwoPLWaitDieProtocol(TwoPLNoWaitProtocol):
+    """2PL with WAIT_DIE deadlock prevention + 2PC."""
+
+    name = "2pl_wd"
+    lock_policy = LockPolicy.WAIT_DIE

@@ -1,0 +1,6 @@
+"""Replication (simplified Raft) and membership/failure-detection services."""
+
+from .membership import MembershipService
+from .raft import ReplicaState, ReplicationGroup
+
+__all__ = ["MembershipService", "ReplicaState", "ReplicationGroup"]

@@ -1,0 +1,93 @@
+"""Membership service (ZooKeeper stand-in).
+
+Primo relies on an external membership service to detect partition-leader
+failures and to coordinate recovery (§5.2).  This module models the two
+behaviours the protocol needs:
+
+* heartbeat-based failure detection with a configurable timeout;
+* a tiny strongly-consistent key-value register used by the recovery
+  coordinator to publish partition watermarks under a TERM-ID so that every
+  partition adopts the same agreed global watermark.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional
+
+from ..sim.engine import Environment, Event
+
+__all__ = ["MembershipService"]
+
+
+class MembershipService:
+    """Failure detector plus a consensus-backed scratchpad for recovery."""
+
+    def __init__(
+        self,
+        env: Environment,
+        n_partitions: int,
+        heartbeat_interval_us: float = 2_000.0,
+        heartbeat_timeout_us: float = 10_000.0,
+    ):
+        self.env = env
+        self.n_partitions = n_partitions
+        self.heartbeat_interval_us = heartbeat_interval_us
+        self.heartbeat_timeout_us = heartbeat_timeout_us
+        self._last_heartbeat = {p: 0.0 for p in range(n_partitions)}
+        self._alive = {p: True for p in range(n_partitions)}
+        self._failure_listeners: list[Callable[[int], None]] = []
+        # The ZooKeeper-like register: term -> {partition -> published watermark}.
+        self._published_watermarks: dict[int, dict[int, float]] = {}
+        self.current_term = 0
+        self._monitor_started = False
+
+    # -- failure detection -----------------------------------------------------
+    def start(self) -> None:
+        if not self._monitor_started:
+            self._monitor_started = True
+            self.env.process(self._monitor_loop(), name="membership-monitor")
+
+    def on_failure(self, listener: Callable[[int], None]) -> None:
+        """Register a callback invoked (once) when a partition is declared failed."""
+        self._failure_listeners.append(listener)
+
+    def heartbeat(self, partition_id: int) -> None:
+        self._last_heartbeat[partition_id] = self.env.now
+
+    def mark_recovered(self, partition_id: int) -> None:
+        self._alive[partition_id] = True
+        self._last_heartbeat[partition_id] = self.env.now
+
+    def is_alive(self, partition_id: int) -> bool:
+        return self._alive.get(partition_id, False)
+
+    def _monitor_loop(self) -> Generator[Event, object, None]:
+        while True:
+            yield self.env.timeout(self.heartbeat_interval_us)
+            now = self.env.now
+            for partition_id, last in self._last_heartbeat.items():
+                if not self._alive[partition_id]:
+                    continue
+                if now - last > self.heartbeat_timeout_us:
+                    self._alive[partition_id] = False
+                    for listener in list(self._failure_listeners):
+                        listener(partition_id)
+
+    # -- watermark agreement (recovery, §5.2) -----------------------------------
+    def new_recovery_term(self) -> int:
+        self.current_term += 1
+        self._published_watermarks[self.current_term] = {}
+        return self.current_term
+
+    def publish_watermark(self, term: int, partition_id: int, watermark: float) -> None:
+        self._published_watermarks.setdefault(term, {})[partition_id] = watermark
+
+    def published_watermarks(self, term: int) -> dict[int, float]:
+        return dict(self._published_watermarks.get(term, {}))
+
+    def agreed_global_watermark(self, term: int) -> Optional[float]:
+        """Per §5.2 every partition adopts the *maximum* published watermark."""
+        published = self._published_watermarks.get(term)
+        if not published:
+            return None
+        return max(published.values())

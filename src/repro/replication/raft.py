@@ -1,0 +1,121 @@
+"""Simplified Raft-style replication for a partition's log.
+
+Each partition has a leader (the simulated server) and ``replicas_per_partition
+- 1`` followers.  The only Raft behaviours the reproduction needs are:
+
+* **quorum append** — a log prefix becomes durable once a majority of the
+  replication group has acknowledged it (one network round trip per append
+  batch), which is the persistence latency that WM/COCO/CLV move off or keep
+  on the transaction's critical path;
+* **leader fail-over** — on a crash the recovery coordinator elects a new
+  leader which, per §5.2, is guaranteed to have every log record up to the
+  last persisted partition watermark.
+
+Followers are modelled as passive log stores rather than full servers; their
+acknowledgement latency is a network round trip from the leader.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from ..sim.engine import Environment, Event
+from ..sim.network import Network
+
+__all__ = ["ReplicaState", "ReplicationGroup"]
+
+
+@dataclass
+class ReplicaState:
+    """A follower's view of the replicated log."""
+
+    replica_id: int
+    acked_lsn: int = 0
+    log_entries: list = field(default_factory=list)
+
+
+class ReplicationGroup:
+    """Leader-driven quorum replication for a single partition."""
+
+    def __init__(
+        self,
+        env: Environment,
+        network: Network,
+        partition_id: int,
+        n_replicas: int,
+        follower_node_base: int,
+        storage_persist_us: float,
+    ):
+        if n_replicas < 1:
+            raise ValueError("a replication group needs at least one replica (the leader)")
+        self.env = env
+        self.network = network
+        self.partition_id = partition_id
+        self.n_replicas = n_replicas
+        self.storage_persist_us = storage_persist_us
+        self.term = 1
+        self.leader_alive = True
+        # Follower node ids live in a separate id space so network latency
+        # between the leader and its followers is the normal inter-node latency.
+        self.followers = [
+            ReplicaState(replica_id=follower_node_base + i)
+            for i in range(n_replicas - 1)
+        ]
+        self.quorum_size = n_replicas // 2 + 1
+        self.durable_lsn = 0
+        self.stats = {"append_rounds": 0, "entries_replicated": 0, "elections": 0}
+
+    # -- normal operation ----------------------------------------------------
+    def replicate(self, up_to_lsn: int, entries: list) -> Generator[Event, object, int]:
+        """Replicate ``entries`` so the prefix up to ``up_to_lsn`` is durable.
+
+        Returns the new durable LSN.  With a single replica (no followers) the
+        persist latency is just the local storage write.
+        """
+        self.stats["append_rounds"] += 1
+        self.stats["entries_replicated"] += len(entries)
+        if not self.followers:
+            yield self.env.timeout(self.storage_persist_us)
+            self.durable_lsn = max(self.durable_lsn, up_to_lsn)
+            return self.durable_lsn
+        # Leader sends AppendEntries to all followers in parallel; durability
+        # is reached when a quorum (including the leader itself) has persisted.
+        # The dominant cost is one round trip to the fastest follower plus the
+        # follower's storage write.
+        acks_needed = self.quorum_size - 1  # leader counts as one vote
+        follower = self.followers[0]
+        roundtrip = self.network.roundtrip_us(self.partition_id, follower.replica_id)
+        yield self.env.timeout(roundtrip + self.storage_persist_us)
+        for state in self.followers[: max(acks_needed, 1)]:
+            state.acked_lsn = max(state.acked_lsn, up_to_lsn)
+            state.log_entries.extend(entries)
+        # Remaining followers catch up asynchronously (not on the critical path).
+        for state in self.followers[max(acks_needed, 1):]:
+            state.log_entries.extend(entries)
+            state.acked_lsn = max(state.acked_lsn, up_to_lsn)
+        self.durable_lsn = max(self.durable_lsn, up_to_lsn)
+        return self.durable_lsn
+
+    # -- failure handling -------------------------------------------------------
+    def leader_crashed(self) -> None:
+        self.leader_alive = False
+
+    def elect_new_leader(self) -> Generator[Event, object, int]:
+        """Run a (simplified) election; returns the new term.
+
+        The election costs one round trip among the replicas plus a small
+        randomised-timeout allowance, matching Raft's expected fail-over time.
+        """
+        self.stats["elections"] += 1
+        election_delay = self.network.one_way_latency_us * 4 + self.storage_persist_us
+        yield self.env.timeout(election_delay)
+        self.term += 1
+        self.leader_alive = True
+        return self.term
+
+    def highest_replicated_lsn(self) -> int:
+        """The LSN guaranteed to exist on the new leader after fail-over."""
+        if not self.followers:
+            return self.durable_lsn
+        return max((f.acked_lsn for f in self.followers), default=self.durable_lsn)

@@ -1,0 +1,34 @@
+"""Discrete-event simulation substrate (engine, network, RNG, measurement)."""
+
+from .engine import Environment, Event, Interrupt, Process, SimulationError, Timeout, all_of, any_of
+from .network import Network, NetworkStats, NodeUnreachable
+from .randgen import DeterministicRandom, ZipfGenerator, derive_seed
+from .stats import (
+    BREAKDOWN_COMPONENTS,
+    BreakdownTimer,
+    Counter,
+    LatencyRecorder,
+    RunMetrics,
+)
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Timeout",
+    "all_of",
+    "any_of",
+    "Network",
+    "NetworkStats",
+    "NodeUnreachable",
+    "DeterministicRandom",
+    "ZipfGenerator",
+    "derive_seed",
+    "BREAKDOWN_COMPONENTS",
+    "BreakdownTimer",
+    "Counter",
+    "LatencyRecorder",
+    "RunMetrics",
+]

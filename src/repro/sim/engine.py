@@ -1,0 +1,306 @@
+"""Discrete-event simulation engine.
+
+The whole reproduction runs on simulated time: partitions, worker threads,
+network messages, log flushes and replication rounds are all events scheduled
+on a single :class:`Environment`.  Processes are plain Python generators that
+yield :class:`Event` objects (typically produced by :meth:`Environment.timeout`
+or by the networking / locking substrates) and are resumed when the event
+fires.
+
+The design intentionally mirrors a small subset of SimPy so that the protocol
+code reads like straight-line pseudo code from the paper:
+
+    def worker(env):
+        yield env.timeout(10.0)
+        value = yield from network.rpc(src, dst, handler, payload)
+
+Only the features the reproduction needs are implemented: timeouts, generic
+events, processes (which are themselves events and can therefore be awaited),
+and process failure propagation.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "SimulationError",
+    "Interrupt",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation engine (e.g. yielding a non-event)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that has been interrupted (e.g. by a crash)."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+# Event state markers.
+_PENDING = object()
+
+
+class Event:
+    """A single occurrence a process can wait for.
+
+    An event starts *untriggered*; once :meth:`succeed` (or :meth:`fail`) is
+    called it is scheduled on the environment and every waiting callback runs
+    at the current simulated time.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok = True
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been given a value (it may not have fired yet)."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise SimulationError("event value accessed before it was triggered")
+        return self._value
+
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Trigger the event successfully with ``value`` after ``delay``."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self._value = value
+        self.env._schedule(self, delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Trigger the event with an exception; waiters will see it raised."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self, delay)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        if self.callbacks is None:
+            # Already processed: run immediately at the current time.
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        state = "triggered" if self.triggered else "pending"
+        return f"<{type(self).__name__} {state} at t={self.env.now:.3f}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._value = value
+        env._schedule(self, delay)
+
+
+class Process(Event):
+    """Wraps a generator and drives it through the events it yields.
+
+    A process is itself an event: it triggers with the generator's return
+    value when the generator finishes, so processes can wait for each other
+    (``result = yield env.process(child())``).
+    """
+
+    def __init__(self, env: "Environment", generator: Generator, name: str = ""):
+        super().__init__(env)
+        if not hasattr(generator, "send"):
+            raise SimulationError("Process requires a generator")
+        self.name = name or getattr(generator, "__name__", "process")
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        self._interrupted_by: Optional[Interrupt] = None
+        # Kick off the process at the current simulated time.
+        init = Event(env)
+        init.succeed(None)
+        init.add_callback(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.triggered:
+            return
+        self._interrupted_by = Interrupt(cause)
+        wakeup = Event(self.env)
+        wakeup.succeed(None)
+        wakeup.add_callback(self._resume)
+
+    def _resume(self, event: Event) -> None:
+        if self.triggered:
+            return
+        self._waiting_on = None
+        try:
+            if self._interrupted_by is not None:
+                exc, self._interrupted_by = self._interrupted_by, None
+                target = self._generator.throw(exc)
+            elif event.ok:
+                target = self._generator.send(event.value)
+            else:
+                target = self._generator.throw(event.value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupt:
+            # Process chose not to handle the interrupt: treat as termination.
+            self.succeed(None)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate to waiters
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                raise
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            error = SimulationError(
+                f"process {self.name!r} yielded non-event {target!r}"
+            )
+            self._generator.close()
+            self.fail(error)
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+
+class Environment:
+    """The simulation clock and event queue."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, Event]] = []
+        self._counter = itertools.count()
+        self._active_processes = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (microseconds by convention in this repo)."""
+        return self._now
+
+    # -- event creation -------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        return Process(self, generator, name=name)
+
+    # -- scheduling -----------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        heapq.heappush(self._queue, (self._now + delay, next(self._counter), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if the queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next event in the queue."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        when, _, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks:
+            for callback in callbacks:
+                callback(event)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until simulated time ``until`` (or until the queue drains)."""
+        if until is not None and until < self._now:
+            raise SimulationError("cannot run into the past")
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                self._now = until
+                return self._now
+            self.step()
+        if until is not None:
+            self._now = until
+        return self._now
+
+    def run_all(self, max_events: int = 50_000_000) -> float:
+        """Drain the queue entirely (bounded by ``max_events`` as a safety net)."""
+        processed = 0
+        while self._queue:
+            self.step()
+            processed += 1
+            if processed > max_events:
+                raise SimulationError("simulation did not terminate (event budget exceeded)")
+        return self._now
+
+
+def all_of(env: Environment, events: Iterable[Event]) -> Event:
+    """Return an event that fires after every event in ``events`` has fired."""
+    events = list(events)
+    done = env.event()
+    remaining = len(events)
+    results: list[Any] = [None] * remaining
+    if remaining == 0:
+        done.succeed([])
+        return done
+
+    def make_callback(index: int) -> Callable[[Event], None]:
+        def callback(event: Event) -> None:
+            nonlocal remaining
+            results[index] = event.value if event.ok else event._value
+            remaining -= 1
+            if remaining == 0 and not done.triggered:
+                done.succeed(results)
+
+        return callback
+
+    for i, event in enumerate(events):
+        event.add_callback(make_callback(i))
+    return done
+
+
+def any_of(env: Environment, events: Iterable[Event]) -> Event:
+    """Return an event that fires as soon as one event in ``events`` fires."""
+    events = list(events)
+    done = env.event()
+    if not events:
+        done.succeed(None)
+        return done
+
+    def callback(event: Event) -> None:
+        if not done.triggered:
+            done.succeed(event.value if event.ok else event._value)
+
+    for event in events:
+        event.add_callback(callback)
+    return done

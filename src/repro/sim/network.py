@@ -1,0 +1,164 @@
+"""Simulated cluster network.
+
+Models point-to-point messaging between partition servers with a configurable
+one-way latency.  Two primitives are provided:
+
+* :meth:`Network.rpc` — request/response; the handler runs at the destination
+  after one one-way latency, and its return value arrives back at the caller
+  after another one-way latency.  Handlers may be plain callables or
+  simulation generators (so remote handlers can themselves wait for locks,
+  other RPCs, log flushes, ...).
+* :meth:`Network.send` — one-way, fire-and-forget message.
+
+The network also supports targeted fault/latency injection, which the
+benchmark harness uses for the "watermark lagging" experiment (Fig. 13a) and
+for crash experiments (messages to a crashed node are dropped).
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Optional
+
+from .engine import Environment, Event
+
+__all__ = ["Network", "NetworkStats", "NodeUnreachable"]
+
+
+class NodeUnreachable(Exception):
+    """Raised at the caller when an RPC destination is crashed/partitioned."""
+
+    def __init__(self, node_id: int):
+        super().__init__(f"node {node_id} is unreachable")
+        self.node_id = node_id
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate message counters, used by tests and the bench report."""
+
+    messages_sent: int = 0
+    rpc_calls: int = 0
+    one_way_messages: int = 0
+    bytes_hint: int = 0
+    dropped: int = 0
+    per_destination: dict = field(default_factory=dict)
+
+    def record(self, dst: int, kind: str) -> None:
+        self.messages_sent += 1
+        if kind == "rpc":
+            self.rpc_calls += 1
+        else:
+            self.one_way_messages += 1
+        self.per_destination[dst] = self.per_destination.get(dst, 0) + 1
+
+
+class Network:
+    """Point-to-point message fabric between numbered nodes."""
+
+    def __init__(
+        self,
+        env: Environment,
+        one_way_latency_us: float = 50.0,
+        local_latency_us: float = 0.2,
+    ):
+        self.env = env
+        self.one_way_latency_us = float(one_way_latency_us)
+        self.local_latency_us = float(local_latency_us)
+        self.stats = NetworkStats()
+        # Extra one-way delay injected on messages *from* a given node
+        # (used to lag a partition's watermark/epoch messages, Fig. 13a).
+        self._extra_delay_from: dict[int, float] = {}
+        # Extra one-way delay on messages *to* a given node.
+        self._extra_delay_to: dict[int, float] = {}
+        self._unreachable: set[int] = set()
+
+    # -- fault / delay injection ----------------------------------------
+    def set_extra_delay_from(self, node_id: int, delay_us: float) -> None:
+        """Add ``delay_us`` to every message originating at ``node_id``."""
+        self._extra_delay_from[node_id] = float(delay_us)
+
+    def set_extra_delay_to(self, node_id: int, delay_us: float) -> None:
+        """Add ``delay_us`` to every message destined to ``node_id``."""
+        self._extra_delay_to[node_id] = float(delay_us)
+
+    def set_unreachable(self, node_id: int, unreachable: bool = True) -> None:
+        """Mark a node as crashed: messages to it are dropped, RPCs fail."""
+        if unreachable:
+            self._unreachable.add(node_id)
+        else:
+            self._unreachable.discard(node_id)
+
+    def is_unreachable(self, node_id: int) -> bool:
+        return node_id in self._unreachable
+
+    # -- latency model ---------------------------------------------------
+    def latency(self, src: int, dst: int) -> float:
+        """One-way latency from ``src`` to ``dst`` including injected delays."""
+        if src == dst:
+            base = self.local_latency_us
+        else:
+            base = self.one_way_latency_us
+        return (
+            base
+            + self._extra_delay_from.get(src, 0.0)
+            + self._extra_delay_to.get(dst, 0.0)
+        )
+
+    # -- messaging primitives ---------------------------------------------
+    def rpc(
+        self,
+        src: int,
+        dst: int,
+        handler: Callable[..., Any],
+        *args: Any,
+        **kwargs: Any,
+    ) -> Generator[Event, Any, Any]:
+        """Request/response round trip; generator to be driven with ``yield from``."""
+        self.stats.record(dst, "rpc")
+        if dst in self._unreachable:
+            self.stats.dropped += 1
+            # The caller notices the failure after a timeout-ish delay.
+            yield self.env.timeout(self.latency(src, dst) * 2)
+            raise NodeUnreachable(dst)
+        yield self.env.timeout(self.latency(src, dst))
+        result = handler(*args, **kwargs)
+        if inspect.isgenerator(result):
+            result = yield from result
+        if dst in self._unreachable:
+            # Crashed while processing: response is lost.
+            self.stats.dropped += 1
+            yield self.env.timeout(self.latency(dst, src))
+            raise NodeUnreachable(dst)
+        yield self.env.timeout(self.latency(dst, src))
+        return result
+
+    def send(
+        self,
+        src: int,
+        dst: int,
+        handler: Callable[..., Any],
+        *args: Any,
+        **kwargs: Any,
+    ) -> None:
+        """One-way message: schedule ``handler`` at the destination, don't wait."""
+        self.stats.record(dst, "one_way")
+        if dst in self._unreachable:
+            self.stats.dropped += 1
+            return
+
+        def deliver() -> Generator[Event, Any, None]:
+            yield self.env.timeout(self.latency(src, dst))
+            if dst in self._unreachable:
+                self.stats.dropped += 1
+                return
+            result = handler(*args, **kwargs)
+            if inspect.isgenerator(result):
+                yield from result
+
+        self.env.process(deliver(), name=f"send:{src}->{dst}")
+
+    def roundtrip_us(self, src: int, dst: int) -> float:
+        """Convenience: full round-trip latency between two nodes."""
+        return self.latency(src, dst) + self.latency(dst, src)

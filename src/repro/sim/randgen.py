@@ -1,0 +1,125 @@
+"""Deterministic random number generation for workloads.
+
+Provides a seeded wrapper around :mod:`random` plus a Zipfian generator using
+the classic Gray et al. (SIGMOD '94) rejection-free method, which is what YCSB
+and DBx1000 use.  Every worker gets its own :class:`DeterministicRandom`
+derived from the run seed so that simulations are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Sequence
+
+__all__ = ["DeterministicRandom", "ZipfGenerator", "derive_seed"]
+
+
+def derive_seed(base_seed: int, *components: int) -> int:
+    """Derive a child seed from a base seed and a tuple of integer components."""
+    seed = base_seed & 0xFFFFFFFFFFFFFFFF
+    for component in components:
+        seed = (seed * 1_000_003 + (component + 0x9E3779B9)) & 0xFFFFFFFFFFFFFFFF
+    return seed
+
+
+class DeterministicRandom:
+    """Seeded random source with the helpers workloads need."""
+
+    def __init__(self, seed: int):
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def uniform_int(self, low: int, high: int) -> int:
+        """Uniform integer in [low, high] inclusive."""
+        return self._rng.randint(low, high)
+
+    def uniform(self, low: float = 0.0, high: float = 1.0) -> float:
+        return self._rng.uniform(low, high)
+
+    def random(self) -> float:
+        return self._rng.random()
+
+    def choice(self, options: Sequence):
+        return self._rng.choice(options)
+
+    def shuffle(self, items: list) -> None:
+        self._rng.shuffle(items)
+
+    def sample_without_replacement(self, low: int, high: int, count: int) -> list[int]:
+        """Distinct uniform integers in [low, high]; count must fit the range."""
+        return self._rng.sample(range(low, high + 1), count)
+
+    def boolean(self, probability_true: float) -> bool:
+        return self._rng.random() < probability_true
+
+    def exponential(self, mean: float) -> float:
+        return self._rng.expovariate(1.0 / mean) if mean > 0 else 0.0
+
+    def nurand(self, a: int, x: int, y: int, c: int = 123) -> int:
+        """TPC-C NURand non-uniform distribution."""
+        return (((self.uniform_int(0, a) | self.uniform_int(x, y)) + c) % (y - x + 1)) + x
+
+    def last_name(self, number: int) -> str:
+        """TPC-C customer last-name syllable encoding."""
+        syllables = [
+            "BAR", "OUGHT", "ABLE", "PRI", "PRES",
+            "ESE", "ANTI", "CALLY", "ATION", "EING",
+        ]
+        return (
+            syllables[(number // 100) % 10]
+            + syllables[(number // 10) % 10]
+            + syllables[number % 10]
+        )
+
+    def alphanumeric(self, length: int) -> str:
+        chars = "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+        return "".join(self._rng.choice(chars) for _ in range(length))
+
+
+class ZipfGenerator:
+    """Zipfian key generator over ``[0, n_items)`` with skew ``theta``.
+
+    ``theta = 0`` degenerates to uniform; ``theta -> 1`` concentrates accesses
+    on a few hot keys.  Uses the Gray et al. analytic method so generation is
+    O(1) per sample after O(1) setup (the zeta constants are memoised per
+    ``(n, theta)`` to keep repeated workload construction cheap).
+    """
+
+    _zeta_cache: dict[tuple[int, float], float] = {}
+
+    def __init__(self, n_items: int, theta: float, rng: DeterministicRandom):
+        if n_items <= 0:
+            raise ValueError("ZipfGenerator requires at least one item")
+        if not 0.0 <= theta < 1.0:
+            raise ValueError("theta must be in [0, 1)")
+        self.n_items = n_items
+        self.theta = theta
+        self._rng = rng
+        if theta == 0.0:
+            return
+        self._zetan = self._zeta(n_items, theta)
+        self._zeta2 = self._zeta(2, theta)
+        self._alpha = 1.0 / (1.0 - theta)
+        self._eta = (1.0 - math.pow(2.0 / n_items, 1.0 - theta)) / (
+            1.0 - self._zeta2 / self._zetan
+        )
+
+    @classmethod
+    def _zeta(cls, n: int, theta: float) -> float:
+        key = (n, theta)
+        if key not in cls._zeta_cache:
+            cls._zeta_cache[key] = sum(1.0 / math.pow(i, theta) for i in range(1, n + 1))
+        return cls._zeta_cache[key]
+
+    def next(self) -> int:
+        """Draw the next key in ``[0, n_items)``."""
+        if self.theta == 0.0:
+            return self._rng.uniform_int(0, self.n_items - 1)
+        u = self._rng.random()
+        uz = u * self._zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + math.pow(0.5, self.theta):
+            return 1
+        return int(self.n_items * math.pow(self._eta * u - self._eta + 1.0, self._alpha))

@@ -1,0 +1,194 @@
+"""Measurement utilities: counters, latency recorders and breakdown timers.
+
+The paper's evaluation reports throughput (committed transactions / second),
+average and 99th-percentile latency, abort rates, and a latency *breakdown*
+into components (execute, 2PC, timestamp, commit, backoff, return, wait_batch,
+sequence — Figs. 4c/5c).  These classes collect exactly those quantities.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+__all__ = [
+    "Counter",
+    "LatencyRecorder",
+    "BreakdownTimer",
+    "RunMetrics",
+    "BREAKDOWN_COMPONENTS",
+]
+
+# Latency components reported in the paper's breakdown figures.
+BREAKDOWN_COMPONENTS = (
+    "execute",
+    "2pc",
+    "timestamp",
+    "commit",
+    "backoff",
+    "return",
+    "wait_batch",
+    "sequence",
+)
+
+
+class Counter:
+    """Named integer counters."""
+
+    def __init__(self) -> None:
+        self._counts: dict[str, int] = defaultdict(int)
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        self._counts[name] += amount
+
+    def get(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self._counts)
+
+    def merge(self, other: "Counter") -> None:
+        for name, value in other._counts.items():
+            self._counts[name] += value
+
+
+class LatencyRecorder:
+    """Collects latency samples and reports mean / percentiles."""
+
+    def __init__(self) -> None:
+        self._samples: list[float] = []
+
+    def record(self, latency: float) -> None:
+        self._samples.append(latency)
+
+    def extend(self, samples: Iterable[float]) -> None:
+        self._samples.extend(samples)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def mean(self) -> float:
+        if not self._samples:
+            return 0.0
+        return sum(self._samples) / len(self._samples)
+
+    def percentile(self, pct: float) -> float:
+        """Nearest-rank percentile (pct in [0, 100])."""
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        if pct <= 0:
+            return ordered[0]
+        if pct >= 100:
+            return ordered[-1]
+        rank = max(0, min(len(ordered) - 1, int(round(pct / 100.0 * len(ordered))) - 1))
+        return ordered[rank]
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    @property
+    def max(self) -> float:
+        return max(self._samples) if self._samples else 0.0
+
+
+class BreakdownTimer:
+    """Accumulates per-component time for the latency-breakdown figures."""
+
+    def __init__(self) -> None:
+        self._totals: dict[str, float] = defaultdict(float)
+        self._txn_count = 0
+
+    def add(self, component: str, duration: float) -> None:
+        if duration < 0:
+            raise ValueError(f"negative duration for {component}: {duration}")
+        self._totals[component] += duration
+
+    def finish_transaction(self) -> None:
+        """Mark that one transaction's breakdown has been fully recorded."""
+        self._txn_count += 1
+
+    def merge(self, other: "BreakdownTimer") -> None:
+        for component, value in other._totals.items():
+            self._totals[component] += value
+        self._txn_count += other._txn_count
+
+    def total(self, component: str) -> float:
+        return self._totals.get(component, 0.0)
+
+    def per_transaction(self) -> dict[str, float]:
+        """Average time per committed transaction for each component."""
+        if self._txn_count == 0:
+            return {component: 0.0 for component in BREAKDOWN_COMPONENTS}
+        return {
+            component: self._totals.get(component, 0.0) / self._txn_count
+            for component in BREAKDOWN_COMPONENTS
+        }
+
+
+@dataclass
+class RunMetrics:
+    """Everything a single simulated run reports back to the harness."""
+
+    duration_us: float = 0.0
+    committed: int = 0
+    aborted: int = 0
+    crash_aborted: int = 0
+    counters: Counter = field(default_factory=Counter)
+    latency: LatencyRecorder = field(default_factory=LatencyRecorder)
+    breakdown: BreakdownTimer = field(default_factory=BreakdownTimer)
+
+    @property
+    def throughput_tps(self) -> float:
+        """Committed transactions per (simulated) second."""
+        if self.duration_us <= 0:
+            return 0.0
+        return self.committed / (self.duration_us / 1_000_000.0)
+
+    @property
+    def throughput_ktps(self) -> float:
+        return self.throughput_tps / 1000.0
+
+    @property
+    def abort_rate(self) -> float:
+        """Fraction of transaction *attempts* that aborted."""
+        attempts = self.committed + self.aborted
+        if attempts == 0:
+            return 0.0
+        return self.aborted / attempts
+
+    @property
+    def crash_abort_rate(self) -> float:
+        total = self.committed + self.crash_aborted
+        if total == 0:
+            return 0.0
+        return self.crash_aborted / total
+
+    @property
+    def mean_latency_ms(self) -> float:
+        return self.latency.mean / 1000.0
+
+    @property
+    def p99_latency_ms(self) -> float:
+        return self.latency.p99 / 1000.0
+
+    def summary(self) -> dict:
+        """Flat dictionary used by the bench report printers."""
+        return {
+            "throughput_ktps": self.throughput_ktps,
+            "committed": self.committed,
+            "aborted": self.aborted,
+            "abort_rate": self.abort_rate,
+            "crash_abort_rate": self.crash_abort_rate,
+            "mean_latency_ms": self.mean_latency_ms,
+            "p99_latency_ms": self.p99_latency_ms,
+            "breakdown_us": self.breakdown.per_transaction(),
+        }

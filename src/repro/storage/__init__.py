@@ -1,0 +1,19 @@
+"""Storage substrate: records, tables, indexes, locks and partition stores."""
+
+from .lock import LockManager, LockMode, LockPolicy, LockRequest, LockState
+from .partition import PartitionStore
+from .record import Record
+from .table import SecondaryIndex, Table, TableError
+
+__all__ = [
+    "LockManager",
+    "LockMode",
+    "LockPolicy",
+    "LockRequest",
+    "LockState",
+    "PartitionStore",
+    "Record",
+    "SecondaryIndex",
+    "Table",
+    "TableError",
+]

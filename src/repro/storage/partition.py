@@ -1,0 +1,62 @@
+"""A partition's local storage: a set of tables plus its lock manager.
+
+Partitions own disjoint key ranges (horizontal partitioning as in §3); the
+mapping from a key to its partition is the workload's responsibility — the
+storage layer only knows about the tables it hosts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..sim.engine import Environment
+from .lock import LockManager, LockPolicy
+from .record import Record
+from .table import Table, TableError
+
+__all__ = ["PartitionStore"]
+
+
+class PartitionStore:
+    """All tables (and the lock manager) hosted by one partition."""
+
+    def __init__(
+        self,
+        env: Environment,
+        partition_id: int,
+        lock_policy: LockPolicy = LockPolicy.WAIT_DIE,
+    ):
+        self.env = env
+        self.partition_id = partition_id
+        self.tables: dict[str, Table] = {}
+        self.lock_manager = LockManager(env, policy=lock_policy)
+
+    def create_table(self, name: str) -> Table:
+        if name in self.tables:
+            raise TableError(f"table {name!r} already exists on partition {self.partition_id}")
+        table = Table(name)
+        self.tables[name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self.tables[name]
+        except KeyError as exc:
+            raise TableError(
+                f"table {name!r} does not exist on partition {self.partition_id}"
+            ) from exc
+
+    def get_record(self, table_name: str, key) -> Optional[Record]:
+        return self.table(table_name).get(key)
+
+    def require_record(self, table_name: str, key) -> Record:
+        return self.table(table_name).require(key)
+
+    def insert_record(self, table_name: str, key, value: dict) -> Record:
+        return self.table(table_name).insert(key, value)
+
+    def table_names(self) -> Iterable[str]:
+        return self.tables.keys()
+
+    def total_records(self) -> int:
+        return sum(len(t) for t in self.tables.values())

@@ -1,0 +1,70 @@
+"""Record representation shared by every protocol.
+
+A record carries the TicToc metadata (``wts``/``rts``) used by Primo and
+Sundial, a monotone ``version`` used by Silo-style validation, and a pointer
+to its lock state (managed by :class:`repro.storage.lock.LockManager`).
+
+Values are stored as plain Python dictionaries (column name → value) so that
+the TPC-C tables read naturally; YCSB simply stores ``{"field0": ...}``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+__all__ = ["Record"]
+
+
+class Record:
+    """A single row plus the concurrency-control metadata attached to it."""
+
+    __slots__ = ("key", "value", "wts", "rts", "version", "lock_state", "deleted")
+
+    def __init__(self, key: Any, value: dict):
+        self.key = key
+        self.value = dict(value)
+        # TicToc valid interval [wts, rts]; fresh records are valid from time 0.
+        self.wts: float = 0.0
+        self.rts: float = 0.0
+        # Monotone write counter used by Silo read-set validation.
+        self.version: int = 0
+        # Lazily-created LockState (see repro.storage.lock).
+        self.lock_state = None
+        self.deleted = False
+
+    # -- value access ----------------------------------------------------
+    def snapshot(self) -> dict:
+        """Copy of the current value (so buffered reads are isolated)."""
+        return dict(self.value)
+
+    def get(self, column: str, default: Any = None) -> Any:
+        return self.value.get(column, default)
+
+    def install(self, new_value: dict, ts: float) -> None:
+        """Install a committed write at logical time ``ts`` (TicToc semantics)."""
+        self.value = dict(new_value)
+        self.wts = ts
+        self.rts = ts
+        self.version += 1
+
+    def install_fields(self, updates: dict, ts: float) -> None:
+        """Install a partial update (only the listed columns change)."""
+        self.value.update(updates)
+        self.wts = ts
+        self.rts = ts
+        self.version += 1
+
+    def extend_rts(self, ts: float) -> None:
+        """Extend the valid interval so that ``ts`` ∈ [wts, rts]."""
+        if ts > self.rts:
+            self.rts = ts
+
+    def valid_at(self, ts: float) -> bool:
+        """True if a read at logical time ``ts`` is consistent with this record."""
+        return self.wts <= ts <= self.rts
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"Record(key={self.key!r}, wts={self.wts}, rts={self.rts}, "
+            f"version={self.version})"
+        )

@@ -1,0 +1,130 @@
+"""In-memory tables with a primary hash index and optional secondary indexes.
+
+A :class:`Table` maps primary keys to :class:`Record` instances.  Secondary
+indexes map an index key (any hashable derived from the row) to the list of
+primary keys having that index key — enough to express the TPC-C lookups
+(customer by last name, orders by customer, new-orders by district, ...).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Optional
+
+from .record import Record
+
+__all__ = ["Table", "SecondaryIndex", "TableError"]
+
+
+class TableError(KeyError):
+    """Raised for missing keys / duplicate inserts."""
+
+
+class SecondaryIndex:
+    """A non-unique secondary index maintained alongside a table."""
+
+    def __init__(self, name: str, key_func: Callable[[dict], Any]):
+        self.name = name
+        self.key_func = key_func
+        self._entries: dict[Any, list] = {}
+
+    def add(self, primary_key, row: dict) -> None:
+        self._entries.setdefault(self.key_func(row), []).append(primary_key)
+
+    def remove(self, primary_key, row: dict) -> None:
+        index_key = self.key_func(row)
+        keys = self._entries.get(index_key)
+        if keys and primary_key in keys:
+            keys.remove(primary_key)
+            if not keys:
+                del self._entries[index_key]
+
+    def lookup(self, index_key) -> list:
+        """Primary keys matching ``index_key`` (possibly empty)."""
+        return list(self._entries.get(index_key, ()))
+
+
+class Table:
+    """A named collection of records with hash-based primary access."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._records: dict[Any, Record] = {}
+        self._indexes: dict[str, SecondaryIndex] = {}
+
+    def __len__(self) -> int:
+        return sum(1 for record in self._records.values() if not record.deleted)
+
+    def __contains__(self, key) -> bool:
+        return self.get(key) is not None
+
+    # -- index management --------------------------------------------------
+    def create_index(self, name: str, key_func: Callable[[dict], Any]) -> SecondaryIndex:
+        if name in self._indexes:
+            raise TableError(f"index {name!r} already exists on table {self.name!r}")
+        index = SecondaryIndex(name, key_func)
+        for primary_key, record in self._records.items():
+            index.add(primary_key, record.value)
+        self._indexes[name] = index
+        return index
+
+    def index(self, name: str) -> SecondaryIndex:
+        try:
+            return self._indexes[name]
+        except KeyError as exc:
+            raise TableError(f"no index {name!r} on table {self.name!r}") from exc
+
+    def index_lookup(self, index_name: str, index_key) -> list:
+        return self.index(index_name).lookup(index_key)
+
+    # -- record access -------------------------------------------------------
+    def get(self, key) -> Optional[Record]:
+        record = self._records.get(key)
+        if record is None or record.deleted:
+            return None
+        return record
+
+    def require(self, key) -> Record:
+        record = self.get(key)
+        if record is None:
+            raise TableError(f"key {key!r} not found in table {self.name!r}")
+        return record
+
+    def insert(self, key, value: dict) -> Record:
+        """Insert a new row; duplicate keys are an error (unique-key constraint)."""
+        existing = self._records.get(key)
+        if existing is not None and not existing.deleted:
+            raise TableError(f"duplicate key {key!r} in table {self.name!r}")
+        record = Record(key, value)
+        self._records[key] = record
+        for index in self._indexes.values():
+            index.add(key, record.value)
+        return record
+
+    def upsert(self, key, value: dict) -> Record:
+        """Insert or overwrite without raising on duplicates (loader use only)."""
+        existing = self._records.get(key)
+        if existing is not None:
+            for index in self._indexes.values():
+                index.remove(key, existing.value)
+            existing.value = dict(value)
+            existing.deleted = False
+            for index in self._indexes.values():
+                index.add(key, existing.value)
+            return existing
+        return self.insert(key, value)
+
+    def delete(self, key) -> None:
+        record = self.require(key)
+        record.deleted = True
+        for index in self._indexes.values():
+            index.remove(key, record.value)
+
+    def keys(self) -> Iterator:
+        return (k for k, r in self._records.items() if not r.deleted)
+
+    def records(self) -> Iterator[Record]:
+        return (r for r in self._records.values() if not r.deleted)
+
+    def scan(self, predicate: Callable[[dict], bool]) -> list[Record]:
+        """Full scan returning live records whose value satisfies ``predicate``."""
+        return [r for r in self._records.values() if not r.deleted and predicate(r.value)]

@@ -1,0 +1,25 @@
+"""Transaction layer: identifiers, read/write sets, status and contexts."""
+
+from .context import TxnContext
+from .transaction import (
+    AbortReason,
+    ReadEntry,
+    Transaction,
+    TxnAborted,
+    TxnId,
+    TxnStatus,
+    UserAbort,
+    WriteEntry,
+)
+
+__all__ = [
+    "AbortReason",
+    "ReadEntry",
+    "Transaction",
+    "TxnAborted",
+    "TxnContext",
+    "TxnId",
+    "TxnStatus",
+    "UserAbort",
+    "WriteEntry",
+]

@@ -1,0 +1,118 @@
+"""Transaction context handed to workload logic.
+
+Workload transactions are written once and run unchanged under every
+protocol.  They are simulation generators receiving a :class:`TxnContext`:
+
+    def new_order(ctx):
+        warehouse = yield from ctx.read(w_partition, "warehouse", w_id)
+        ...
+        yield from ctx.update(w_partition, "district", d_key, {"d_next_o_id": next_o_id})
+
+Each protocol provides a concrete subclass that implements the read path
+(locking discipline, remote RPCs, timestamp bookkeeping).  The base class
+implements routing-independent conveniences: read-my-own-writes, buffered
+updates/inserts, user aborts and index lookups.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from .transaction import Transaction, UserAbort, WriteEntry
+
+__all__ = ["TxnContext"]
+
+
+class TxnContext:
+    """Base class for protocol-specific transaction contexts."""
+
+    def __init__(self, protocol, server, txn: Transaction):
+        self.protocol = protocol
+        self.server = server
+        self.txn = txn
+        self.env = server.env
+
+    # -- helpers shared by all protocols ----------------------------------
+    @property
+    def home_partition(self) -> int:
+        return self.server.partition_id
+
+    def is_local(self, partition: int) -> bool:
+        return partition == self.server.partition_id
+
+    def _merge_own_writes(self, partition: int, table: str, key, value: dict) -> dict:
+        """Overlay this transaction's buffered writes on a freshly read value."""
+        write = self.txn.find_write(partition, table, key)
+        if write is None:
+            return value
+        merged = dict(value)
+        merged.update(write.updates)
+        return merged
+
+    # -- operations used by workload logic ---------------------------------
+    def read(self, partition: int, table: str, key) -> Generator:
+        """Read a record; returns its value dictionary (a private copy)."""
+        value = yield from self._protocol_read(partition, table, key)
+        return self._merge_own_writes(partition, table, key, value)
+
+    def update(self, partition: int, table: str, key, updates: dict) -> Generator:
+        """Buffer an update of selected columns of an existing record."""
+        yield from self._protocol_write(
+            WriteEntry(
+                partition=partition,
+                table=table,
+                key=key,
+                updates=dict(updates),
+                local=self.is_local(partition),
+            )
+        )
+
+    def insert(self, partition: int, table: str, key, value: dict) -> Generator:
+        """Buffer insertion of a new record."""
+        yield from self._protocol_write(
+            WriteEntry(
+                partition=partition,
+                table=table,
+                key=key,
+                updates=dict(value),
+                is_insert=True,
+                local=self.is_local(partition),
+            )
+        )
+
+    def delete(self, partition: int, table: str, key) -> Generator:
+        """Buffer deletion of a record."""
+        yield from self._protocol_write(
+            WriteEntry(
+                partition=partition,
+                table=table,
+                key=key,
+                updates={},
+                is_delete=True,
+                local=self.is_local(partition),
+            )
+        )
+
+    def read_for_update(self, partition: int, table: str, key) -> Generator:
+        """Read a record that will subsequently be written (a hint; by default
+        identical to :meth:`read`, protocols may override to lock eagerly)."""
+        value = yield from self.read(partition, table, key)
+        return value
+
+    def index_lookup(self, partition: int, table: str, index: str, index_key) -> Generator:
+        """Return the list of primary keys matching a secondary-index key."""
+        keys = yield from self.protocol.index_lookup(
+            self.server, self.txn, partition, table, index, index_key
+        )
+        return keys
+
+    def abort(self, detail: str = "") -> None:
+        """User-specified abort (Rollback); never retried by the worker loop."""
+        raise UserAbort(detail)
+
+    # -- hooks implemented by each protocol ---------------------------------
+    def _protocol_read(self, partition: int, table: str, key) -> Generator:
+        raise NotImplementedError
+
+    def _protocol_write(self, entry: WriteEntry) -> Generator:
+        raise NotImplementedError

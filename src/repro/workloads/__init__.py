@@ -1,0 +1,21 @@
+"""OLTP workloads: YCSB, TPC-C, TATP and Smallbank."""
+
+from .base import TransactionSpec, TxnSource, Workload
+from .smallbank import SmallbankConfig, SmallbankWorkload
+from .tatp import TATPConfig, TATPWorkload
+from .tpcc import TPCCConfig, TPCCWorkload
+from .ycsb import YCSBConfig, YCSBWorkload
+
+__all__ = [
+    "TransactionSpec",
+    "TxnSource",
+    "Workload",
+    "SmallbankConfig",
+    "SmallbankWorkload",
+    "TATPConfig",
+    "TATPWorkload",
+    "TPCCConfig",
+    "TPCCWorkload",
+    "YCSBConfig",
+    "YCSBWorkload",
+]

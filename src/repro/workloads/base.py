@@ -1,0 +1,59 @@
+"""Workload interface.
+
+A workload knows how to (1) load its tables onto every partition and (2)
+produce an endless stream of transaction specifications for a given partition.
+Transaction logic is written once against :class:`~repro.txn.context.TxnContext`
+and therefore runs unchanged under every protocol.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Generator, Optional
+
+from ..sim.randgen import DeterministicRandom, derive_seed
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster.cluster import Cluster
+    from ..txn.context import TxnContext
+
+__all__ = ["TransactionSpec", "TxnSource", "Workload"]
+
+
+@dataclass
+class TransactionSpec:
+    """One transaction to execute: a name (for stats) and its logic generator."""
+
+    name: str
+    logic: Callable[["TxnContext"], Generator]
+    read_only: bool = False
+    metadata: dict = field(default_factory=dict)
+
+
+class TxnSource(abc.ABC):
+    """An endless, deterministic stream of transactions for one worker fiber."""
+
+    @abc.abstractmethod
+    def next(self) -> TransactionSpec:
+        """Produce the next transaction specification."""
+
+
+class Workload(abc.ABC):
+    """Base class for YCSB, TPC-C, TATP and Smallbank."""
+
+    name = "workload"
+
+    @abc.abstractmethod
+    def load(self, cluster: "Cluster") -> None:
+        """Create tables and populate the initial database on every partition."""
+
+    @abc.abstractmethod
+    def make_source(self, cluster: "Cluster", partition_id: int, stream_id: int) -> TxnSource:
+        """Create a per-worker transaction stream rooted at ``partition_id``."""
+
+    def rng(self, cluster: "Cluster", partition_id: int, stream_id: int) -> DeterministicRandom:
+        """Deterministic RNG derived from the run seed, partition and stream."""
+        return DeterministicRandom(
+            derive_seed(cluster.config.seed, hash(self.name) & 0xFFFF, partition_id, stream_id)
+        )

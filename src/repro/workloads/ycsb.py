@@ -1,0 +1,146 @@
+"""YCSB workload (§6.1.2).
+
+Each transaction performs ``ops_per_txn`` (default 10) key accesses drawn from
+a Zipf distribution over the home partition's key space.  By default half the
+operations are reads and half read-modify-writes (the paper's 50% write
+ratio); a configurable fraction of transactions is *distributed*, in which
+case ``remote_ops`` of the accesses go to uniformly-chosen remote partitions.
+The knobs map one-to-one to the sweeps in §6.3:
+
+* ``zipf_theta``        — contention (Fig. 6),
+* ``distributed_pct``   — fraction of distributed transactions (Fig. 7),
+* ``write_pct``         — fraction of write operations (Fig. 8),
+* ``blind_write_pct``   — fraction of writes issued without a prior read (Fig. 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Generator
+
+from ..sim.randgen import DeterministicRandom, ZipfGenerator
+from .base import TransactionSpec, TxnSource, Workload
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster.cluster import Cluster
+    from ..txn.context import TxnContext
+
+__all__ = ["YCSBConfig", "YCSBWorkload", "YCSBSource"]
+
+TABLE = "usertable"
+FIELDS = 2  # number of payload columns per record
+
+
+@dataclass
+class YCSBConfig:
+    """Tunable parameters of the YCSB workload."""
+
+    keys_per_partition: int = 50_000
+    ops_per_txn: int = 10
+    zipf_theta: float = 0.6
+    write_pct: float = 0.5        # fraction of the ops that modify data
+    distributed_pct: float = 0.2  # fraction of transactions that are distributed
+    remote_ops: int = 2           # remote accesses per distributed transaction
+    blind_write_pct: float = 0.0  # fraction of writes issued without a read
+
+    def validate(self) -> None:
+        if self.keys_per_partition <= self.ops_per_txn:
+            raise ValueError("keys_per_partition must exceed ops_per_txn")
+        for name in ("write_pct", "distributed_pct", "blind_write_pct"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+        if not 0 <= self.remote_ops <= self.ops_per_txn:
+            raise ValueError("remote_ops must be within the transaction size")
+
+
+@dataclass
+class _Operation:
+    partition: int
+    key: int
+    kind: str  # "read" | "rmw" | "blind_write"
+
+
+class YCSBSource(TxnSource):
+    """Per-worker transaction stream."""
+
+    def __init__(self, workload: "YCSBWorkload", cluster: "Cluster",
+                 partition_id: int, rng: DeterministicRandom):
+        self.workload = workload
+        self.cluster = cluster
+        self.partition_id = partition_id
+        self.rng = rng
+        self.zipf = ZipfGenerator(
+            workload.config.keys_per_partition, workload.config.zipf_theta, rng
+        )
+        self.n_partitions = cluster.config.n_partitions
+
+    def next(self) -> TransactionSpec:
+        config = self.workload.config
+        distributed = (
+            self.n_partitions > 1 and self.rng.boolean(config.distributed_pct)
+        )
+        remote_slots: set[int] = set()
+        if distributed:
+            while len(remote_slots) < min(config.remote_ops, config.ops_per_txn):
+                remote_slots.add(self.rng.uniform_int(0, config.ops_per_txn - 1))
+        operations: list[_Operation] = []
+        chosen: set[tuple[int, int]] = set()
+        for slot in range(config.ops_per_txn):
+            if slot in remote_slots:
+                partition = self.rng.uniform_int(0, self.n_partitions - 2)
+                if partition >= self.partition_id:
+                    partition += 1
+            else:
+                partition = self.partition_id
+            key = self.zipf.next()
+            while (partition, key) in chosen:
+                key = self.zipf.next()
+            chosen.add((partition, key))
+            if self.rng.boolean(config.write_pct):
+                kind = "blind_write" if self.rng.boolean(config.blind_write_pct) else "rmw"
+            else:
+                kind = "read"
+            operations.append(_Operation(partition=partition, key=key, kind=kind))
+        read_only = all(op.kind == "read" for op in operations)
+        return TransactionSpec(
+            name="ycsb",
+            logic=self.workload.make_logic(operations),
+            read_only=read_only,
+            metadata={"distributed": distributed},
+        )
+
+
+class YCSBWorkload(Workload):
+    name = "ycsb"
+
+    def __init__(self, config: YCSBConfig | None = None):
+        self.config = config or YCSBConfig()
+        self.config.validate()
+
+    # -- loading ------------------------------------------------------------------
+    def load(self, cluster: "Cluster") -> None:
+        for partition_id, server in cluster.servers.items():
+            table = server.store.create_table(TABLE)
+            for key in range(self.config.keys_per_partition):
+                table.insert(key, {f"field{i}": 0 for i in range(FIELDS)})
+
+    # -- transaction streams --------------------------------------------------------
+    def make_source(self, cluster: "Cluster", partition_id: int, stream_id: int) -> YCSBSource:
+        return YCSBSource(self, cluster, partition_id, self.rng(cluster, partition_id, stream_id))
+
+    # -- transaction logic -------------------------------------------------------------
+    def make_logic(self, operations: list[_Operation]):
+        def logic(ctx: "TxnContext") -> Generator:
+            for op in operations:
+                if op.kind == "read":
+                    yield from ctx.read(op.partition, TABLE, op.key)
+                elif op.kind == "rmw":
+                    value = yield from ctx.read(op.partition, TABLE, op.key)
+                    yield from ctx.update(
+                        op.partition, TABLE, op.key, {"field0": value.get("field0", 0) + 1}
+                    )
+                else:  # blind write: no prior read
+                    yield from ctx.update(op.partition, TABLE, op.key, {"field1": 1})
+
+        return logic

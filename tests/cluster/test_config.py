@@ -1,0 +1,73 @@
+"""Tests for SystemConfig validation and defaults."""
+
+import pytest
+
+from repro.cluster.config import DURABILITY_SCHEMES, PROTOCOLS, SystemConfig
+
+
+def test_defaults_follow_the_paper_setup():
+    config = SystemConfig()
+    assert config.n_partitions == 4
+    assert config.replicas_per_partition == 3
+    assert config.protocol == "primo"
+    assert config.durability == "wm"
+    assert config.epoch_length_us == pytest.approx(10_000.0)
+
+
+def test_unknown_protocol_rejected():
+    with pytest.raises(ValueError):
+        SystemConfig(protocol="three_pc")
+
+
+def test_unknown_durability_rejected():
+    with pytest.raises(ValueError):
+        SystemConfig(durability="magnetic_tape")
+
+
+@pytest.mark.parametrize(
+    "field,value",
+    [
+        ("n_partitions", 0),
+        ("workers_per_partition", 0),
+        ("inflight_per_worker", 0),
+        ("replicas_per_partition", 0),
+        ("duration_us", 0.0),
+        ("epoch_length_us", 0.0),
+    ],
+)
+def test_invalid_numeric_fields_rejected(field, value):
+    with pytest.raises(ValueError):
+        SystemConfig(**{field: value})
+
+
+def test_every_listed_protocol_and_scheme_is_accepted():
+    for protocol in PROTOCOLS:
+        for durability in DURABILITY_SCHEMES:
+            SystemConfig(protocol=protocol, durability=durability)
+
+
+def test_for_protocol_picks_the_papers_durability_pairings():
+    assert SystemConfig.for_protocol("primo").durability == "wm"
+    assert SystemConfig.for_protocol("sundial").durability == "coco"
+    assert SystemConfig.for_protocol("2pl_nw").durability == "coco"
+    assert SystemConfig.for_protocol("tapir").durability == "sync"
+    assert SystemConfig.for_protocol("aria").durability == "none"
+    assert SystemConfig.for_protocol("silo", durability="clv").durability == "clv"
+
+
+def test_with_overrides_returns_a_validated_copy():
+    base = SystemConfig()
+    changed = base.with_overrides(n_partitions=8, protocol="silo")
+    assert changed.n_partitions == 8
+    assert changed.protocol == "silo"
+    assert base.n_partitions == 4  # original untouched
+    with pytest.raises(ValueError):
+        base.with_overrides(n_partitions=-1)
+
+
+def test_derived_quantities():
+    config = SystemConfig(workers_per_partition=3, inflight_per_worker=2,
+                          one_way_network_latency_us=80.0)
+    assert config.concurrency_per_partition == 6
+    assert config.roundtrip_us == 160.0
+    assert config.total_duration_us == config.warmup_us + config.duration_us

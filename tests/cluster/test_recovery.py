@@ -1,0 +1,86 @@
+"""Crash-injection and recovery tests (§5.2)."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+
+from tests.conftest import TransferWorkload, tiny_config, tiny_ycsb
+
+
+def crash_config(protocol="primo", durability="wm", **overrides):
+    settings = dict(
+        durability=durability,
+        duration_us=30_000.0,
+        warmup_us=2_000.0,
+        epoch_length_us=2_000.0,
+        crash_partition=1,
+        crash_time_us=15_000.0,
+        heartbeat_interval_us=500.0,
+        heartbeat_timeout_us=2_000.0,
+    )
+    settings.update(overrides)
+    return tiny_config(protocol, **settings)
+
+
+def test_crash_is_detected_and_recovered():
+    cluster = Cluster(crash_config(), tiny_ycsb())
+    result = cluster.run()
+    assert result.metrics.counters.get("crashes_injected") == 1
+    assert cluster.recovery.stats["recoveries"] >= 1
+    # The failed partition is back as a (new) leader by the end of the run.
+    assert not cluster.servers[1].crashed
+    assert cluster.membership.is_alive(1)
+    assert result.committed > 0
+
+
+def test_crash_aborts_transactions_above_the_agreed_watermark():
+    cluster = Cluster(
+        crash_config(n_partitions=3, workers_per_partition=2, inflight_per_worker=2),
+        tiny_ycsb(),
+    )
+    result = cluster.run()
+    assert result.metrics.crash_aborted > 0
+    assert 0.0 < result.crash_abort_rate < 1.0
+
+
+def test_recovery_agrees_on_the_maximum_published_watermark():
+    cluster = Cluster(crash_config(), tiny_ycsb())
+    cluster.run()
+    term = cluster.membership.current_term
+    assert term >= 1
+    published = cluster.membership.published_watermarks(term)
+    assert len(published) == cluster.config.n_partitions
+    agreed = cluster.membership.agreed_global_watermark(term)
+    assert agreed == max(published.values())
+
+
+def test_rollback_preserves_the_transfer_invariant():
+    """After crash + rollback the total balance must still be conserved."""
+    workload = TransferWorkload(accounts_per_partition=100)
+    cluster = Cluster(crash_config(), workload)
+    cluster.run()
+    assert workload.total_balance(cluster) == pytest.approx(
+        workload.expected_total(cluster), rel=1e-9
+    )
+
+
+def test_throughput_continues_after_recovery():
+    """Primo keeps processing transactions after the failed partition rejoins."""
+    cluster = Cluster(crash_config(duration_us=40_000.0), tiny_ycsb())
+    result = cluster.run()
+    # Transactions were still being committed in the post-recovery period.
+    assert result.committed > 100
+
+
+def test_coco_crash_aborts_the_epoch():
+    cluster = Cluster(crash_config(protocol="sundial", durability="coco"), tiny_ycsb())
+    result = cluster.run()
+    assert cluster.durability.stats["epochs_aborted"] >= 1
+    assert result.metrics.crash_aborted > 0
+
+
+def test_no_crash_injection_when_not_configured():
+    cluster = Cluster(tiny_config("primo"), tiny_ycsb())
+    result = cluster.run()
+    assert result.metrics.counters.get("crashes_injected") == 0
+    assert result.metrics.crash_aborted == 0

@@ -1,0 +1,113 @@
+"""Tests for the write-ahead log manager and its replication-backed flushes."""
+
+import pytest
+
+from repro.commit.logging import LogManager, LogRecordKind
+from repro.replication.raft import ReplicationGroup
+from repro.sim.engine import Environment
+from repro.sim.network import Network
+from repro.txn.transaction import Transaction, TxnId, WriteEntry
+
+
+def make_log(n_replicas=3):
+    env = Environment()
+    network = Network(env, one_way_latency_us=50.0)
+    replication = ReplicationGroup(env, network, 0, n_replicas, 100, storage_persist_us=20.0)
+    return env, LogManager(env, 0, replication, log_write_us=10.0)
+
+
+def flush(env, log):
+    proc = env.process(log.flush())
+    env.run(until=env.now + 10_000)
+    return proc.value
+
+
+def test_appends_get_increasing_lsns():
+    env, log = make_log()
+    first = log.append(LogRecordKind.WRITESET, txn_ts=1.0)
+    second = log.append(LogRecordKind.WATERMARK)
+    assert second.lsn == first.lsn + 1
+    assert log.last_lsn == second.lsn
+    assert log.unpersisted_count == 2
+
+
+def test_flush_makes_prefix_durable_and_costs_time():
+    env, log = make_log()
+    log.append(LogRecordKind.WRITESET, txn_ts=1.0)
+    log.append(LogRecordKind.WRITESET, txn_ts=2.0)
+    start = env.now
+    durable = flush(env, log)
+    assert durable == 2
+    assert log.durable_lsn == 2
+    assert log.unpersisted_count == 0
+    assert env.now > start  # log write + replication round trip took time
+    assert log.is_durable(1) and log.is_durable(2)
+    assert not log.is_durable(3)
+
+
+def test_flush_with_empty_buffer_is_a_noop():
+    env, log = make_log()
+    assert flush(env, log) == 0
+    assert log.stats["flushes"] == 0
+
+
+def test_unpersisted_min_ts_only_counts_writeset_records():
+    env, log = make_log()
+    log.append(LogRecordKind.WATERMARK, payload={"watermark": 1.0})
+    assert log.unpersisted_min_ts() is None
+    log.append(LogRecordKind.WRITESET, txn_ts=9.0)
+    log.append(LogRecordKind.WRITESET, txn_ts=4.0)
+    assert log.unpersisted_min_ts() == 4.0
+    flush(env, log)
+    assert log.unpersisted_min_ts() is None
+
+
+def test_concurrent_flushes_group_together():
+    env, log = make_log()
+    log.append(LogRecordKind.WRITESET, txn_ts=1.0)
+    first = env.process(log.flush())
+    log.append(LogRecordKind.WRITESET, txn_ts=2.0)
+    second = env.process(log.flush())
+    env.run(until=env.now + 10_000)
+    assert first.triggered and second.triggered
+    assert log.durable_lsn == 2
+    assert log.unpersisted_count == 0
+
+
+def test_append_writeset_records_undo_images():
+    env, log = make_log()
+    txn = Transaction(tid=TxnId(1, 0), coordinator=0)
+    txn.ts = 7.0
+    entries = [WriteEntry(partition=0, table="kv", key=1, updates={"v": 2})]
+    record = log.append_writeset(txn, entries, before_images={("kv", 1): {"v": 1}})
+    assert record.kind is LogRecordKind.WRITESET
+    assert record.txn_ts == 7.0
+    assert record.payload["before_images"][("kv", 1)] == {"v": 1}
+    assert record.payload["writes"][0][:2] == ("kv", 1)
+
+
+def test_writeset_records_at_or_after_filters_by_ts():
+    env, log = make_log()
+    for ts in (1.0, 5.0, 9.0):
+        log.append(LogRecordKind.WRITESET, txn_ts=ts)
+    log.append(LogRecordKind.WATERMARK, payload={"watermark": 9.0})
+    selected = log.writeset_records_at_or_after(5.0)
+    assert [r.txn_ts for r in selected] == [5.0, 9.0]
+
+
+def test_latest_persisted_watermark_requires_replication():
+    env, log = make_log()
+    log.append(LogRecordKind.WATERMARK, payload={"watermark": 3.0})
+    assert log.latest_persisted_watermark() == 0.0  # not yet replicated
+    flush(env, log)
+    log.append(LogRecordKind.WATERMARK, payload={"watermark": 8.0})
+    assert log.latest_persisted_watermark() == 3.0
+    flush(env, log)
+    assert log.latest_persisted_watermark() == 8.0
+
+
+def test_single_replica_group_still_persists():
+    env, log = make_log(n_replicas=1)
+    log.append(LogRecordKind.WRITESET, txn_ts=1.0)
+    assert flush(env, log) == 1
+    assert log.durable_lsn == 1

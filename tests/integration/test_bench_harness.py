@@ -1,0 +1,94 @@
+"""Smoke tests of the benchmark harness (runner, sweeps, CLI plumbing)."""
+
+import pytest
+
+from repro.bench import ALL_EXPERIMENTS, SCALES, build_workload, run_config
+from repro.bench.runner import BenchScale, sweep_values
+from repro.bench.report import format_ratio, print_header, print_table
+
+
+#: An even smaller scale than "small" so harness tests run in a few seconds.
+TEST_SCALE = BenchScale(
+    name="test",
+    duration_us=6_000.0,
+    warmup_us=2_000.0,
+    workers_per_partition=1,
+    inflight_per_worker=2,
+    ycsb_keys_per_partition=2_000,
+    tpcc_warehouses_per_partition=2,
+    tpcc_items=50,
+    tpcc_customers_per_district=10,
+    sweep_points=2,
+)
+
+
+def test_all_figures_are_registered():
+    expected = {f"fig{i:02d}" for i in range(4, 16)} | {"appendix"}
+    assert set(ALL_EXPERIMENTS) == expected
+    assert set(SCALES) == {"small", "medium", "paper"}
+
+
+def test_run_config_returns_a_result_for_every_protocol():
+    result = run_config("primo", TEST_SCALE, workload="ycsb")
+    assert result.protocol == "primo"
+    assert result.committed > 0
+
+
+def test_run_config_applies_workload_and_config_overrides():
+    result = run_config(
+        "sundial", TEST_SCALE, workload="ycsb",
+        workload_overrides={"zipf_theta": 0.0},
+        n_partitions=2,
+    )
+    assert result.n_partitions == 2
+
+
+def test_build_workload_supports_all_four_workloads():
+    assert build_workload(TEST_SCALE, "ycsb").name == "ycsb"
+    assert build_workload(TEST_SCALE, "tpcc").name == "tpcc"
+    assert build_workload(TEST_SCALE, "tatp").name == "tatp"
+    assert build_workload(TEST_SCALE, "smallbank").name == "smallbank"
+    with pytest.raises(ValueError):
+        build_workload(TEST_SCALE, "tpch")
+
+
+def test_sweep_values_keeps_endpoints():
+    values = [1, 2, 4, 8, 12, 16, 20]
+    thinned = sweep_values(values, TEST_SCALE)
+    assert thinned[0] == 1 and thinned[-1] == 20
+    assert len(thinned) == TEST_SCALE.sweep_points
+    assert sweep_values([1, 2], TEST_SCALE) == [1, 2]
+
+
+def test_report_helpers_do_not_crash(capsys):
+    print_header("Demo", "paper note")
+    print_table(["a", "b"], [[1, 2.5], ["x", 10_000.0]])
+    assert format_ratio(1.914) == "1.91x"
+    captured = capsys.readouterr()
+    assert "Demo" in captured.out and "paper note" in captured.out
+
+
+def test_appendix_experiment_matches_paper_conclusion():
+    rows = ALL_EXPERIMENTS["appendix"](TEST_SCALE)["rows"]
+    by_ratio = {row["read_ratio"]: row for row in rows}
+    assert by_ratio[0.4]["primo_wins"] is True
+    assert by_ratio[1.0]["primo_wins"] is False
+
+
+def test_blind_write_experiment_runs_at_test_scale(capsys):
+    data = ALL_EXPERIMENTS["fig09"](TEST_SCALE)
+    assert len(data["primo"]) == len(data["ratios"]) == TEST_SCALE.sweep_points
+    assert all(v >= 0 for v in data["primo"])
+
+
+def test_logging_scheme_experiment_covers_all_schemes(capsys):
+    data = ALL_EXPERIMENTS["fig11"](TEST_SCALE, protocols=("primo",))
+    assert set(data["throughput_ktps"]["primo"]) == {"clv", "coco", "wm"}
+
+
+def test_cli_entry_point_runs_a_single_figure(capsys):
+    from repro.bench.__main__ import main
+
+    assert main(["--figure", "appendix", "--scale", "small"]) == 0
+    out = capsys.readouterr().out
+    assert "Appendix A" in out

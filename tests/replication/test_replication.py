@@ -1,0 +1,121 @@
+"""Tests for the simplified Raft replication group and the membership service."""
+
+import pytest
+
+from repro.replication.membership import MembershipService
+from repro.replication.raft import ReplicationGroup
+from repro.sim.engine import Environment
+from repro.sim.network import Network
+
+
+def make_group(n_replicas=3):
+    env = Environment()
+    network = Network(env, one_way_latency_us=50.0)
+    return env, ReplicationGroup(env, network, 0, n_replicas, 100, storage_persist_us=20.0)
+
+
+def drive(env, generator):
+    proc = env.process(generator)
+    env.run_all()
+    assert proc.triggered
+    return proc.value
+
+
+def test_replication_group_requires_a_replica():
+    env = Environment()
+    network = Network(env)
+    with pytest.raises(ValueError):
+        ReplicationGroup(env, network, 0, 0, 100, 10.0)
+
+
+def test_quorum_size():
+    _, group3 = make_group(3)
+    assert group3.quorum_size == 2
+    _, group5 = make_group(5)
+    assert group5.quorum_size == 3
+    _, group1 = make_group(1)
+    assert group1.quorum_size == 1
+
+
+def test_replicate_advances_durable_lsn_and_takes_a_round_trip():
+    env, group = make_group(3)
+    start = env.now
+    durable = drive(env, group.replicate(5, ["r1", "r2"]))
+    assert durable == 5
+    assert group.durable_lsn == 5
+    assert env.now - start >= 2 * 50.0  # at least one round trip to a follower
+    assert group.stats["append_rounds"] == 1
+    assert group.stats["entries_replicated"] == 2
+
+
+def test_single_replica_replication_is_local_persist_only():
+    env, group = make_group(1)
+    start = env.now
+    drive(env, group.replicate(3, ["r"]))
+    assert env.now - start == pytest.approx(20.0)
+
+
+def test_followers_receive_entries_for_failover():
+    env, group = make_group(3)
+    drive(env, group.replicate(2, ["a", "b"]))
+    assert group.highest_replicated_lsn() == 2
+    assert all(f.acked_lsn == 2 for f in group.followers)
+
+
+def test_leader_election_bumps_term():
+    env, group = make_group(3)
+    group.leader_crashed()
+    assert not group.leader_alive
+    term = drive(env, group.elect_new_leader())
+    assert term == 2
+    assert group.leader_alive
+    assert group.stats["elections"] == 1
+
+
+def test_membership_detects_missing_heartbeats():
+    env = Environment()
+    service = MembershipService(env, 2, heartbeat_interval_us=100.0, heartbeat_timeout_us=500.0)
+    failures = []
+    service.on_failure(failures.append)
+    service.start()
+
+    def heartbeats():
+        # Partition 0 keeps beating, partition 1 goes silent after 300 µs.
+        for i in range(100):
+            service.heartbeat(0)
+            if env.now < 300:
+                service.heartbeat(1)
+            yield env.timeout(100.0)
+
+    env.process(heartbeats())
+    env.run(until=5_000)
+    assert failures == [1]
+    assert service.is_alive(0)
+    assert not service.is_alive(1)
+
+
+def test_membership_failure_reported_once_until_recovery():
+    env = Environment()
+    service = MembershipService(env, 1, heartbeat_interval_us=100.0, heartbeat_timeout_us=200.0)
+    failures = []
+    service.on_failure(failures.append)
+    service.start()
+    env.run(until=2_000)
+    assert failures == [0]
+    service.mark_recovered(0)
+    assert service.is_alive(0)
+
+
+def test_watermark_agreement_uses_the_maximum_published_value():
+    env = Environment()
+    service = MembershipService(env, 3)
+    term = service.new_recovery_term()
+    service.publish_watermark(term, 0, 10.0)
+    service.publish_watermark(term, 1, 25.0)
+    service.publish_watermark(term, 2, 17.0)
+    assert service.agreed_global_watermark(term) == 25.0
+    assert service.published_watermarks(term) == {0: 10.0, 1: 25.0, 2: 17.0}
+    # A new term starts empty.
+    next_term = service.new_recovery_term()
+    assert next_term == term + 1
+    assert service.agreed_global_watermark(next_term) is None

@@ -1,0 +1,289 @@
+"""Unit tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.sim.engine import (
+    Environment,
+    Event,
+    Interrupt,
+    SimulationError,
+    all_of,
+    any_of,
+)
+
+
+def test_clock_starts_at_zero():
+    assert Environment().now == 0.0
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    fired = []
+
+    def proc():
+        yield env.timeout(5.0)
+        fired.append(env.now)
+
+    env.process(proc())
+    env.run(until=100)
+    assert fired == [5.0]
+
+
+def test_timeouts_fire_in_order():
+    env = Environment()
+    order = []
+
+    def proc(delay, label):
+        yield env.timeout(delay)
+        order.append(label)
+
+    env.process(proc(30, "c"))
+    env.process(proc(10, "a"))
+    env.process(proc(20, "b"))
+    env.run(until=100)
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_events_fire_fifo():
+    env = Environment()
+    order = []
+
+    def proc(label):
+        yield env.timeout(5.0)
+        order.append(label)
+
+    for label in ("first", "second", "third"):
+        env.process(proc(label))
+    env.run(until=10)
+    assert order == ["first", "second", "third"]
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.timeout(-1.0)
+
+
+def test_process_return_value_propagates():
+    env = Environment()
+
+    def child():
+        yield env.timeout(1.0)
+        return 42
+
+    def parent():
+        value = yield env.process(child())
+        return value * 2
+
+    parent_proc = env.process(parent())
+    env.run(until=10)
+    assert parent_proc.value == 84
+
+
+def test_yield_from_composition():
+    env = Environment()
+
+    def inner():
+        yield env.timeout(2.0)
+        return "inner-result"
+
+    def outer():
+        result = yield from inner()
+        return result.upper()
+
+    proc = env.process(outer())
+    env.run(until=10)
+    assert proc.value == "INNER-RESULT"
+
+
+def test_event_succeed_and_value():
+    env = Environment()
+    event = env.event()
+    results = []
+
+    def waiter():
+        value = yield event
+        results.append(value)
+
+    env.process(waiter())
+    event.succeed("payload", delay=3.0)
+    env.run(until=10)
+    assert results == ["payload"]
+    assert event.value == "payload"
+
+
+def test_event_double_trigger_rejected():
+    env = Environment()
+    event = env.event()
+    event.succeed(1)
+    with pytest.raises(SimulationError):
+        event.succeed(2)
+
+
+def test_event_value_before_trigger_raises():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        _ = env.event().value
+
+
+def test_event_fail_propagates_exception_to_waiter():
+    env = Environment()
+    event = env.event()
+    caught = []
+
+    def waiter():
+        try:
+            yield event
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    env.process(waiter())
+    event.fail(ValueError("boom"))
+    env.run(until=10)
+    assert caught == ["boom"]
+
+
+def test_fail_requires_exception_instance():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.event().fail("not an exception")  # type: ignore[arg-type]
+
+
+def test_process_exception_fails_the_process_event():
+    env = Environment()
+
+    def broken():
+        yield env.timeout(1.0)
+        raise RuntimeError("broken process")
+
+    proc = env.process(broken())
+    env.run(until=10)
+    assert not proc.ok
+    assert isinstance(proc._value, RuntimeError)
+
+
+def test_waiting_on_failed_process_reraises():
+    env = Environment()
+
+    def broken():
+        yield env.timeout(1.0)
+        raise RuntimeError("inner failure")
+
+    outcome = []
+
+    def parent():
+        try:
+            yield env.process(broken())
+        except RuntimeError as exc:
+            outcome.append(str(exc))
+
+    env.process(parent())
+    env.run(until=10)
+    assert outcome == ["inner failure"]
+
+
+def test_interrupt_is_delivered():
+    env = Environment()
+    seen = []
+
+    def sleeper():
+        try:
+            yield env.timeout(1000.0)
+        except Interrupt as interrupt:
+            seen.append(interrupt.cause)
+
+    proc = env.process(sleeper())
+
+    def killer():
+        yield env.timeout(5.0)
+        proc.interrupt("crash")
+
+    env.process(killer())
+    env.run(until=50)
+    assert seen == ["crash"]
+
+
+def test_run_until_stops_the_clock_exactly():
+    env = Environment()
+
+    def proc():
+        while True:
+            yield env.timeout(7.0)
+
+    env.process(proc())
+    env.run(until=100.0)
+    assert env.now == 100.0
+    assert env.peek() >= 100.0
+
+
+def test_run_into_the_past_rejected():
+    env = Environment()
+    env.run(until=10)
+    with pytest.raises(SimulationError):
+        env.run(until=5)
+
+
+def test_all_of_waits_for_every_event():
+    env = Environment()
+    results = []
+
+    def child(delay, value):
+        yield env.timeout(delay)
+        return value
+
+    def parent():
+        procs = [env.process(child(d, d)) for d in (5, 1, 3)]
+        values = yield all_of(env, procs)
+        results.append((env.now, values))
+
+    env.process(parent())
+    env.run(until=100)
+    assert results == [(5.0, [5, 1, 3])]
+
+
+def test_all_of_empty_fires_immediately():
+    env = Environment()
+    done = all_of(env, [])
+    env.run(until=1)
+    assert done.triggered and done.value == []
+
+
+def test_any_of_fires_on_first_event():
+    env = Environment()
+    results = []
+
+    def child(delay, value):
+        yield env.timeout(delay)
+        return value
+
+    def parent():
+        procs = [env.process(child(d, d)) for d in (9, 2, 6)]
+        value = yield any_of(env, procs)
+        results.append((env.now, value))
+
+    env.process(parent())
+    env.run(until=100)
+    assert results == [(2.0, 2)]
+
+
+def test_yielding_non_event_is_an_error():
+    env = Environment()
+
+    def bad():
+        yield 42
+
+    proc = env.process(bad())
+    env.run(until=10)
+    assert not proc.ok
+
+
+def test_run_all_detects_runaway_simulations():
+    env = Environment()
+
+    def forever():
+        while True:
+            yield env.timeout(1.0)
+
+    env.process(forever())
+    with pytest.raises(SimulationError):
+        env.run_all(max_events=1000)

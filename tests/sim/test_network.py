@@ -1,0 +1,137 @@
+"""Unit tests for the simulated network."""
+
+import pytest
+
+from repro.sim.engine import Environment
+from repro.sim.network import Network, NodeUnreachable
+
+
+def make_network(latency=50.0, local=0.5):
+    env = Environment()
+    return env, Network(env, one_way_latency_us=latency, local_latency_us=local)
+
+
+def test_rpc_charges_a_full_round_trip():
+    env, net = make_network(latency=40.0)
+    times = []
+
+    def caller():
+        result = yield from net.rpc(0, 1, lambda: "pong")
+        times.append((env.now, result))
+
+    env.process(caller())
+    env.run(until=1000)
+    assert times == [(80.0, "pong")]
+
+
+def test_local_rpc_uses_local_latency():
+    env, net = make_network(latency=40.0, local=1.0)
+    times = []
+
+    def caller():
+        yield from net.rpc(2, 2, lambda: None)
+        times.append(env.now)
+
+    env.process(caller())
+    env.run(until=1000)
+    assert times == [2.0]
+
+
+def test_rpc_handler_can_be_a_generator():
+    env, net = make_network(latency=10.0)
+    results = []
+
+    def handler():
+        yield env.timeout(5.0)
+        return "slow-result"
+
+    def caller():
+        result = yield from net.rpc(0, 1, handler)
+        results.append((env.now, result))
+
+    env.process(caller())
+    env.run(until=1000)
+    assert results == [(25.0, "slow-result")]
+
+
+def test_send_is_one_way_and_does_not_block():
+    env, net = make_network(latency=30.0)
+    delivered = []
+
+    def caller():
+        net.send(0, 1, lambda value: delivered.append((env.now, value)), "hello")
+        return env.now
+        yield  # pragma: no cover - make this a generator
+
+    env.process(caller())
+    env.run(until=1000)
+    assert delivered == [(30.0, "hello")]
+
+
+def test_unreachable_destination_raises_for_rpc():
+    env, net = make_network()
+    net.set_unreachable(1)
+    errors = []
+
+    def caller():
+        try:
+            yield from net.rpc(0, 1, lambda: "never")
+        except NodeUnreachable as exc:
+            errors.append(exc.node_id)
+
+    env.process(caller())
+    env.run(until=1000)
+    assert errors == [1]
+    assert net.stats.dropped == 1
+
+
+def test_unreachable_destination_drops_one_way_messages():
+    env, net = make_network()
+    net.set_unreachable(3)
+    delivered = []
+    net.send(0, 3, delivered.append, "lost")
+    env.run(until=1000)
+    assert delivered == []
+    assert net.stats.dropped == 1
+
+
+def test_reachability_can_be_restored():
+    env, net = make_network()
+    net.set_unreachable(1)
+    net.set_unreachable(1, False)
+    assert not net.is_unreachable(1)
+
+
+def test_extra_delay_from_a_node_slows_its_messages():
+    env, net = make_network(latency=10.0)
+    net.set_extra_delay_from(5, 100.0)
+    assert net.latency(5, 1) == 110.0
+    assert net.latency(1, 5) == 10.0
+
+
+def test_extra_delay_to_a_node_slows_inbound_messages():
+    env, net = make_network(latency=10.0)
+    net.set_extra_delay_to(2, 40.0)
+    assert net.latency(0, 2) == 50.0
+    assert net.latency(2, 0) == 10.0
+
+
+def test_message_statistics_are_counted():
+    env, net = make_network()
+
+    def caller():
+        yield from net.rpc(0, 1, lambda: None)
+        net.send(0, 2, lambda: None)
+
+    env.process(caller())
+    env.run(until=1000)
+    assert net.stats.rpc_calls == 1
+    assert net.stats.one_way_messages == 1
+    assert net.stats.messages_sent == 2
+    assert net.stats.per_destination == {1: 1, 2: 1}
+
+
+def test_roundtrip_helper_sums_both_directions():
+    env, net = make_network(latency=25.0)
+    net.set_extra_delay_from(0, 5.0)
+    assert net.roundtrip_us(0, 1) == 25.0 + 5.0 + 25.0

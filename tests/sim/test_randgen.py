@@ -1,0 +1,106 @@
+"""Tests for the deterministic RNG and the Zipf generator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.randgen import DeterministicRandom, ZipfGenerator, derive_seed
+
+
+def test_same_seed_same_stream():
+    a = DeterministicRandom(123)
+    b = DeterministicRandom(123)
+    assert [a.uniform_int(0, 1000) for _ in range(50)] == [
+        b.uniform_int(0, 1000) for _ in range(50)
+    ]
+
+
+def test_different_seeds_differ():
+    a = DeterministicRandom(1)
+    b = DeterministicRandom(2)
+    assert [a.uniform_int(0, 10**6) for _ in range(20)] != [
+        b.uniform_int(0, 10**6) for _ in range(20)
+    ]
+
+
+def test_derive_seed_is_deterministic_and_sensitive_to_components():
+    assert derive_seed(42, 1, 2) == derive_seed(42, 1, 2)
+    assert derive_seed(42, 1, 2) != derive_seed(42, 2, 1)
+    assert derive_seed(42, 1) != derive_seed(43, 1)
+
+
+def test_boolean_probability_extremes():
+    rng = DeterministicRandom(5)
+    assert not any(rng.boolean(0.0) for _ in range(100))
+    assert all(rng.boolean(1.0) for _ in range(100))
+
+
+def test_nurand_stays_in_range():
+    rng = DeterministicRandom(9)
+    for _ in range(500):
+        value = rng.nurand(255, 1, 3000)
+        assert 1 <= value <= 3000
+
+
+def test_last_name_syllables():
+    rng = DeterministicRandom(0)
+    assert rng.last_name(0) == "BARBARBAR"
+    assert rng.last_name(371) == "PRICALLYOUGHT"
+    assert len(rng.last_name(999)) > 0
+
+
+def test_sample_without_replacement_unique():
+    rng = DeterministicRandom(3)
+    sample = rng.sample_without_replacement(0, 99, 50)
+    assert len(sample) == len(set(sample)) == 50
+    assert all(0 <= value <= 99 for value in sample)
+
+
+def test_zipf_rejects_bad_parameters():
+    rng = DeterministicRandom(1)
+    with pytest.raises(ValueError):
+        ZipfGenerator(0, 0.5, rng)
+    with pytest.raises(ValueError):
+        ZipfGenerator(100, 1.0, rng)
+    with pytest.raises(ValueError):
+        ZipfGenerator(100, -0.1, rng)
+
+
+def test_zipf_zero_theta_is_uniformish():
+    rng = DeterministicRandom(11)
+    zipf = ZipfGenerator(1000, 0.0, rng)
+    draws = [zipf.next() for _ in range(5000)]
+    assert min(draws) >= 0 and max(draws) < 1000
+    # The most popular key should not dominate under uniform access.
+    top_share = max(draws.count(k) for k in set(draws)) / len(draws)
+    assert top_share < 0.02
+
+
+def test_zipf_high_theta_is_skewed():
+    rng = DeterministicRandom(12)
+    zipf = ZipfGenerator(1000, 0.9, rng)
+    draws = [zipf.next() for _ in range(5000)]
+    hot_share = sum(1 for d in draws if d < 10) / len(draws)
+    assert hot_share > 0.3  # the ten hottest keys absorb a large share
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n_items=st.integers(min_value=1, max_value=50_000),
+    theta=st.floats(min_value=0.0, max_value=0.99),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_zipf_draws_always_in_range(n_items, theta, seed):
+    """Property: every draw is a valid key index for any (n, theta, seed)."""
+    zipf = ZipfGenerator(n_items, theta, DeterministicRandom(seed))
+    for _ in range(50):
+        assert 0 <= zipf.next() < n_items
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_zipf_streams_are_reproducible(seed):
+    """Property: the same seed always produces the same key sequence."""
+    first = ZipfGenerator(500, 0.6, DeterministicRandom(seed))
+    second = ZipfGenerator(500, 0.6, DeterministicRandom(seed))
+    assert [first.next() for _ in range(30)] == [second.next() for _ in range(30)]

@@ -1,0 +1,112 @@
+"""Tests for counters, latency recorders, breakdown timers and run metrics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.stats import (
+    BREAKDOWN_COMPONENTS,
+    BreakdownTimer,
+    Counter,
+    LatencyRecorder,
+    RunMetrics,
+)
+
+
+def test_counter_increment_and_merge():
+    a = Counter()
+    a.increment("commits")
+    a.increment("commits", 4)
+    b = Counter()
+    b.increment("commits", 2)
+    b.increment("aborts")
+    a.merge(b)
+    assert a.get("commits") == 7
+    assert a.get("aborts") == 1
+    assert a.get("missing") == 0
+    assert a.as_dict() == {"commits": 7, "aborts": 1}
+
+
+def test_latency_recorder_empty_is_zero():
+    recorder = LatencyRecorder()
+    assert recorder.mean == 0.0
+    assert recorder.p99 == 0.0
+    assert recorder.max == 0.0
+    assert recorder.count == 0
+
+
+def test_latency_recorder_mean_and_percentiles():
+    recorder = LatencyRecorder()
+    recorder.extend(float(v) for v in range(1, 101))
+    assert recorder.count == 100
+    assert recorder.mean == pytest.approx(50.5)
+    assert recorder.p50 == pytest.approx(50.0)
+    assert recorder.p99 == pytest.approx(99.0)
+    assert recorder.percentile(100) == 100.0
+    assert recorder.percentile(0) == 1.0
+    assert recorder.max == 100.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(samples=st.lists(st.floats(min_value=0.0, max_value=1e9), min_size=1, max_size=200))
+def test_latency_percentiles_are_order_statistics(samples):
+    """Property: any percentile is one of the samples and p99 >= p50 >= min."""
+    recorder = LatencyRecorder()
+    recorder.extend(samples)
+    assert recorder.p50 in samples
+    assert recorder.p99 in samples
+    assert recorder.p99 >= recorder.p50 >= min(samples)
+
+
+def test_breakdown_timer_average_per_transaction():
+    timer = BreakdownTimer()
+    timer.add("execute", 10.0)
+    timer.add("2pc", 4.0)
+    timer.finish_transaction()
+    timer.add("execute", 20.0)
+    timer.finish_transaction()
+    per_txn = timer.per_transaction()
+    assert per_txn["execute"] == pytest.approx(15.0)
+    assert per_txn["2pc"] == pytest.approx(2.0)
+    assert set(per_txn) == set(BREAKDOWN_COMPONENTS)
+
+
+def test_breakdown_timer_rejects_negative_durations():
+    with pytest.raises(ValueError):
+        BreakdownTimer().add("execute", -1.0)
+
+
+def test_breakdown_timer_merge():
+    a, b = BreakdownTimer(), BreakdownTimer()
+    a.add("commit", 5.0)
+    a.finish_transaction()
+    b.add("commit", 15.0)
+    b.finish_transaction()
+    a.merge(b)
+    assert a.per_transaction()["commit"] == pytest.approx(10.0)
+
+
+def test_run_metrics_throughput_and_rates():
+    metrics = RunMetrics(duration_us=1_000_000.0, committed=5_000, aborted=1_000)
+    assert metrics.throughput_tps == pytest.approx(5_000.0)
+    assert metrics.throughput_ktps == pytest.approx(5.0)
+    assert metrics.abort_rate == pytest.approx(1_000 / 6_000)
+    assert metrics.crash_abort_rate == 0.0
+
+
+def test_run_metrics_zero_duration_is_safe():
+    metrics = RunMetrics()
+    assert metrics.throughput_tps == 0.0
+    assert metrics.abort_rate == 0.0
+    assert metrics.crash_abort_rate == 0.0
+
+
+def test_run_metrics_summary_contains_breakdown():
+    metrics = RunMetrics(duration_us=1000.0, committed=1)
+    metrics.latency.record(2_000.0)
+    metrics.breakdown.add("execute", 10.0)
+    metrics.breakdown.finish_transaction()
+    summary = metrics.summary()
+    assert summary["committed"] == 1
+    assert summary["breakdown_us"]["execute"] == pytest.approx(10.0)
+    assert summary["mean_latency_ms"] == pytest.approx(2.0)

@@ -1,0 +1,211 @@
+"""Tests for the lock manager: modes, policies, fairness and invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Environment
+from repro.storage.lock import LockManager, LockMode, LockPolicy
+from repro.storage.record import Record
+from repro.txn.transaction import TxnId
+
+
+def make_manager(policy=LockPolicy.WAIT_DIE):
+    env = Environment()
+    return env, LockManager(env, policy)
+
+
+def acquire(env, manager, tid, record, mode, policy=None):
+    """Drive an acquire generator to completion and return its result."""
+    proc = env.process(manager.acquire(tid, record, mode, policy))
+    env.run(until=env.now + 1_000)
+    if not proc.triggered:
+        return None  # still waiting
+    return proc.value
+
+
+def test_shared_locks_are_compatible():
+    env, manager = make_manager()
+    record = Record(1, {})
+    assert acquire(env, manager, TxnId(1, 0), record, LockMode.SHARED) is True
+    assert acquire(env, manager, TxnId(2, 0), record, LockMode.SHARED) is True
+    assert len(manager.holders_of(record)) == 2
+
+
+def test_exclusive_lock_blocks_everyone():
+    env, manager = make_manager(LockPolicy.NO_WAIT)
+    record = Record(1, {})
+    assert acquire(env, manager, TxnId(1, 0), record, LockMode.EXCLUSIVE) is True
+    assert acquire(env, manager, TxnId(2, 0), record, LockMode.SHARED) is False
+    assert acquire(env, manager, TxnId(3, 0), record, LockMode.EXCLUSIVE) is False
+
+
+def test_reentrant_acquisition_is_a_noop():
+    env, manager = make_manager()
+    record = Record(1, {})
+    tid = TxnId(5, 0)
+    assert acquire(env, manager, tid, record, LockMode.EXCLUSIVE) is True
+    assert acquire(env, manager, tid, record, LockMode.EXCLUSIVE) is True
+    assert acquire(env, manager, tid, record, LockMode.SHARED) is True
+    assert manager.holders_of(record) == {tid: LockMode.EXCLUSIVE}
+
+
+def test_upgrade_by_sole_holder_succeeds():
+    env, manager = make_manager()
+    record = Record(1, {})
+    tid = TxnId(1, 0)
+    assert acquire(env, manager, tid, record, LockMode.SHARED) is True
+    assert acquire(env, manager, tid, record, LockMode.EXCLUSIVE) is True
+    assert manager.held_by(tid, record) is LockMode.EXCLUSIVE
+
+
+def test_no_wait_policy_never_waits():
+    env, manager = make_manager(LockPolicy.NO_WAIT)
+    record = Record(1, {})
+    assert acquire(env, manager, TxnId(2, 0), record, LockMode.EXCLUSIVE) is True
+    assert acquire(env, manager, TxnId(1, 0), record, LockMode.EXCLUSIVE) is False
+    assert manager.stats["waits"] == 0
+
+
+def test_wait_die_older_waits_and_gets_lock_on_release():
+    env, manager = make_manager(LockPolicy.WAIT_DIE)
+    record = Record(1, {})
+    young, old = TxnId(10, 0), TxnId(1, 0)
+    assert acquire(env, manager, young, record, LockMode.EXCLUSIVE) is True
+    waiter = env.process(manager.acquire(old, record, LockMode.EXCLUSIVE))
+    env.run(until=env.now + 10)
+    assert not waiter.triggered  # still waiting
+    manager.release_all(young)
+    env.run(until=env.now + 10)
+    assert waiter.triggered and waiter.value is True
+    assert manager.held_by(old, record) is LockMode.EXCLUSIVE
+
+
+def test_wait_die_younger_dies():
+    env, manager = make_manager(LockPolicy.WAIT_DIE)
+    record = Record(1, {})
+    old, young = TxnId(1, 0), TxnId(9, 0)
+    assert acquire(env, manager, old, record, LockMode.EXCLUSIVE) is True
+    assert acquire(env, manager, young, record, LockMode.EXCLUSIVE) is False
+
+
+def test_new_requests_do_not_overtake_queued_waiters():
+    """FIFO fairness: shared readers must not starve a queued upgrade."""
+    env, manager = make_manager(LockPolicy.WAIT_DIE)
+    record = Record(1, {})
+    holder = TxnId(5, 0)
+    upgrader = TxnId(1, 0)  # older, so it waits
+    assert acquire(env, manager, holder, record, LockMode.SHARED) is True
+    waiter = env.process(manager.acquire(upgrader, record, LockMode.EXCLUSIVE))
+    env.run(until=env.now + 5)
+    assert not waiter.triggered
+    # A brand-new shared request (even an old one) must not jump the queue.
+    late_reader = TxnId(2, 0)
+    assert acquire(env, manager, late_reader, record, LockMode.SHARED) is False
+    manager.release_all(holder)
+    env.run(until=env.now + 5)
+    assert waiter.triggered and waiter.value is True
+
+
+def test_wait_die_considers_queued_waiters_for_age_check():
+    env, manager = make_manager(LockPolicy.WAIT_DIE)
+    record = Record(1, {})
+    holder = TxnId(10, 0)
+    oldest = TxnId(1, 0)
+    middle = TxnId(5, 0)
+    assert acquire(env, manager, holder, record, LockMode.EXCLUSIVE) is True
+    env.process(manager.acquire(oldest, record, LockMode.EXCLUSIVE))
+    env.run(until=env.now + 5)
+    # ``middle`` is older than the holder but younger than the queued waiter,
+    # so it must die (waiting would allow wait-for cycles with parallel 2PC).
+    assert acquire(env, manager, middle, record, LockMode.EXCLUSIVE) is False
+
+
+def test_release_wakes_compatible_shared_waiters_together():
+    env, manager = make_manager(LockPolicy.WAIT_DIE)
+    record = Record(1, {})
+    holder = TxnId(50, 0)
+    # Enqueue the younger reader first: the older one may queue behind it
+    # (waiting only for younger transactions keeps WAIT_DIE deadlock-free).
+    readers = [TxnId(2, 0), TxnId(1, 0)]
+    assert acquire(env, manager, holder, record, LockMode.EXCLUSIVE) is True
+    procs = [env.process(manager.acquire(r, record, LockMode.SHARED)) for r in readers]
+    env.run(until=env.now + 5)
+    manager.release_all(holder)
+    env.run(until=env.now + 5)
+    assert all(p.triggered and p.value for p in procs)
+    assert len(manager.holders_of(record)) == 2
+
+
+def test_release_all_clears_every_lock():
+    env, manager = make_manager()
+    records = [Record(i, {}) for i in range(5)]
+    tid = TxnId(1, 0)
+    for record in records:
+        assert acquire(env, manager, tid, record, LockMode.EXCLUSIVE) is True
+    assert manager.locks_held(tid) == set(records)
+    manager.release_all(tid)
+    assert manager.locks_held(tid) == set()
+    assert not any(manager.is_locked(r) for r in records)
+
+
+def test_release_is_idempotent_for_non_holders():
+    env, manager = make_manager()
+    record = Record(1, {})
+    manager.release(TxnId(1, 0), record)  # no-op, no error
+    assert not manager.is_locked(record)
+
+
+def test_abort_waiters_fails_queued_requests():
+    env, manager = make_manager(LockPolicy.WAIT_DIE)
+    record = Record(1, {})
+    holder, waiter_tid = TxnId(9, 0), TxnId(1, 0)
+    assert acquire(env, manager, holder, record, LockMode.EXCLUSIVE) is True
+    waiter = env.process(manager.acquire(waiter_tid, record, LockMode.EXCLUSIVE))
+    env.run(until=env.now + 5)
+    manager.abort_waiters(record)
+    env.run(until=env.now + 5)
+    assert waiter.triggered and waiter.value is False
+
+
+def test_force_release_everything_clears_state():
+    env, manager = make_manager()
+    records = [Record(i, {}) for i in range(3)]
+    for i, record in enumerate(records):
+        assert acquire(env, manager, TxnId(i + 1, 0), record, LockMode.EXCLUSIVE) is True
+    manager.force_release_everything()
+    assert all(not manager.is_locked(r) for r in records)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=6),   # transaction number
+            st.integers(min_value=0, max_value=3),   # record number
+            st.booleans(),                            # exclusive?
+        ),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_lock_invariants_hold_under_random_schedules(ops):
+    """Property: never two exclusive holders; shared/exclusive never coexist."""
+    env, manager = make_manager(LockPolicy.NO_WAIT)
+    records = [Record(i, {}) for i in range(4)]
+    held_since_release: dict = {}
+    for txn_number, record_number, exclusive in ops:
+        tid = TxnId(txn_number, 0)
+        record = records[record_number]
+        mode = LockMode.EXCLUSIVE if exclusive else LockMode.SHARED
+        acquire(env, manager, tid, record, mode)
+        holders = manager.holders_of(record)
+        exclusive_holders = [t for t, m in holders.items() if m is LockMode.EXCLUSIVE]
+        assert len(exclusive_holders) <= 1
+        if exclusive_holders:
+            assert len(holders) == 1
+    for record in records:
+        # Releasing everything leaves no lock state behind.
+        for tid in list(manager.holders_of(record)):
+            manager.release(tid, record)
+        assert not manager.is_locked(record)

@@ -1,0 +1,117 @@
+"""Tests for tables, records and secondary indexes."""
+
+import pytest
+
+from repro.storage.record import Record
+from repro.storage.table import Table, TableError
+
+
+def test_record_install_updates_timestamps_and_version():
+    record = Record("k", {"v": 1})
+    assert record.wts == 0.0 and record.rts == 0.0 and record.version == 0
+    record.install({"v": 2}, ts=7.0)
+    assert record.value == {"v": 2}
+    assert record.wts == 7.0 and record.rts == 7.0
+    assert record.version == 1
+
+
+def test_record_install_fields_merges_columns():
+    record = Record("k", {"a": 1, "b": 2})
+    record.install_fields({"b": 5}, ts=3.0)
+    assert record.value == {"a": 1, "b": 5}
+    assert record.valid_at(3.0)
+
+
+def test_record_extend_rts_never_shrinks():
+    record = Record("k", {})
+    record.install({}, ts=5.0)
+    record.extend_rts(3.0)
+    assert record.rts == 5.0
+    record.extend_rts(9.0)
+    assert record.rts == 9.0
+    assert record.valid_at(7.0)
+    assert not record.valid_at(4.0)
+
+
+def test_record_snapshot_is_a_copy():
+    record = Record("k", {"v": 1})
+    snapshot = record.snapshot()
+    snapshot["v"] = 99
+    assert record.value["v"] == 1
+
+
+def test_table_insert_get_require():
+    table = Table("t")
+    table.insert(1, {"x": 1})
+    assert table.get(1).value == {"x": 1}
+    assert table.get(2) is None
+    with pytest.raises(TableError):
+        table.require(2)
+    assert len(table) == 1
+    assert 1 in table and 2 not in table
+
+
+def test_table_duplicate_insert_rejected():
+    table = Table("t")
+    table.insert(1, {})
+    with pytest.raises(TableError):
+        table.insert(1, {})
+
+
+def test_table_upsert_overwrites():
+    table = Table("t")
+    table.insert(1, {"x": 1})
+    table.upsert(1, {"x": 2})
+    assert table.get(1).value == {"x": 2}
+    table.upsert(2, {"x": 3})
+    assert table.get(2).value == {"x": 3}
+
+
+def test_table_delete_hides_record():
+    table = Table("t")
+    table.insert(1, {"x": 1})
+    table.delete(1)
+    assert table.get(1) is None
+    assert 1 not in table
+    assert list(table.keys()) == []
+    # Re-inserting a deleted key is allowed.
+    table.insert(1, {"x": 2})
+    assert table.get(1).value == {"x": 2}
+
+
+def test_table_scan_with_predicate():
+    table = Table("t")
+    for i in range(10):
+        table.insert(i, {"value": i})
+    matches = table.scan(lambda row: row["value"] % 2 == 0)
+    assert sorted(r.key for r in matches) == [0, 2, 4, 6, 8]
+
+
+def test_secondary_index_lookup_and_maintenance():
+    table = Table("customer")
+    index = table.create_index("by_last", lambda row: row["last"])
+    table.insert(1, {"last": "SMITH"})
+    table.insert(2, {"last": "SMITH"})
+    table.insert(3, {"last": "JONES"})
+    assert sorted(table.index_lookup("by_last", "SMITH")) == [1, 2]
+    assert table.index_lookup("by_last", "DOE") == []
+    table.delete(2)
+    assert table.index_lookup("by_last", "SMITH") == [1]
+    assert index.lookup("JONES") == [3]
+
+
+def test_index_created_after_data_is_backfilled():
+    table = Table("t")
+    table.insert(1, {"group": "a"})
+    table.insert(2, {"group": "b"})
+    table.create_index("by_group", lambda row: row["group"])
+    assert table.index_lookup("by_group", "a") == [1]
+
+
+def test_duplicate_index_name_rejected():
+    table = Table("t")
+    table.create_index("idx", lambda row: row.get("x"))
+    with pytest.raises(TableError):
+        table.create_index("idx", lambda row: row.get("x"))
+    with pytest.raises(TableError):
+        table.index("missing")
