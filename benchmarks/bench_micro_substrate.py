@@ -60,3 +60,66 @@ def test_zipf_generation(benchmark):
         return sum(zipf.next() for _ in range(100_000))
 
     assert benchmark(run) >= 0
+
+
+@pytest.mark.benchmark(group="micro")
+def test_engine_zero_delay_dispatch(benchmark):
+    """Drain 100k immediate succeed() chains through the fast-dispatch lane.
+
+    Shares its body with ``scripts/bench_gate.py`` (``engine_dispatch``):
+    process kick-offs, lock grants and local completions all take this path.
+    """
+    from repro.bench.micro import bench_engine_dispatch
+
+    benchmark(bench_engine_dispatch, 100_000)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_process_spawn_throughput(benchmark):
+    """Spawn-and-await 20k trivial child processes (gate: ``process_spawn``)."""
+    from repro.bench.micro import bench_process_spawn
+
+    benchmark(bench_process_spawn, 20_000)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_network_rpc_roundtrips(benchmark):
+    """20k local RPC round trips with a plain handler (gate: ``network_rpc``)."""
+    from repro.bench.micro import bench_network_rpc
+
+    benchmark(bench_network_rpc, 20_000)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_network_one_way_sends(benchmark):
+    """50k one-way sends with a plain handler (gate: ``network_send``)."""
+    from repro.bench.micro import bench_network_send
+
+    benchmark(bench_network_send, 50_000)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_ycsb_end_to_end_small(benchmark):
+    """A complete (tiny) fixed-seed YCSB cluster run through the full stack."""
+    from repro.cluster.cluster import Cluster
+    from repro.cluster.config import SystemConfig
+    from repro.workloads.ycsb import YCSBConfig, YCSBWorkload
+
+    def run():
+        config = SystemConfig.for_protocol(
+            "primo",
+            n_partitions=2,
+            workers_per_partition=2,
+            inflight_per_worker=1,
+            duration_us=10_000.0,
+            warmup_us=2_000.0,
+            epoch_length_us=2_000.0,
+            seed=7,
+        )
+        workload = YCSBWorkload(
+            YCSBConfig(keys_per_partition=2_000, zipf_theta=0.6, distributed_pct=0.2)
+        )
+        result = Cluster(config, workload).run()
+        return result.metrics.committed
+
+    assert benchmark(run) > 0

@@ -1,0 +1,165 @@
+#!/usr/bin/env python
+"""Substrate benchmark gate: measure, record, and check for regressions.
+
+Runs the simulation-substrate micro-benchmarks (engine dispatch, timeouts,
+process spawn, network rpc/send, Zipf sampling) plus a fixed-seed end-to-end
+YCSB run, and writes the samples to ``BENCH_substrate.json`` at the repo
+root.  The JSON file is committed so every PR leaves a perf trajectory the
+next one can compare against.
+
+Modes
+-----
+
+``python scripts/bench_gate.py``
+    Measure and (over)write ``BENCH_substrate.json``.
+
+``python scripts/bench_gate.py --check``
+    Measure and compare against the committed ``BENCH_substrate.json``:
+
+    * **correctness** (commit/abort counts and final simulated clock of the
+      fixed-seed YCSB run) must match exactly — mismatch exits non-zero.
+      A PR that intentionally changes simulation semantics must regenerate
+      the baseline in the same commit.
+    * **performance** is advisory (machines differ): regressions beyond
+      ``--tolerance`` (default 30%) are reported as warnings but do not
+      fail the gate.
+
+Wall-clock numbers are machine-specific; the committed baseline records the
+machine's samples at the time the baseline was refreshed.  The correctness
+block is machine-independent and is the part the gate enforces.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.bench.micro import MICRO_BENCHMARKS  # noqa: E402
+
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_substrate.json"
+SCHEMA_VERSION = 1
+
+
+def run_ycsb_small() -> dict:
+    """Fixed-seed small-scale YCSB end-to-end run (perf + correctness)."""
+    from repro.bench.runner import SCALES, build_workload
+    from repro.cluster.cluster import Cluster
+    from repro.cluster.config import SystemConfig
+
+    scale = SCALES["small"]
+    config = SystemConfig.for_protocol(
+        "primo",
+        duration_us=scale.duration_us,
+        warmup_us=scale.warmup_us,
+        workers_per_partition=scale.workers_per_partition,
+        inflight_per_worker=scale.inflight_per_worker,
+    )
+    cluster = Cluster(config, build_workload(scale, "ycsb"))
+    start = time.perf_counter()
+    result = cluster.run()
+    wall_s = time.perf_counter() - start
+    return {
+        "wall_s": round(wall_s, 4),
+        "committed": result.metrics.committed,
+        "aborted": result.metrics.aborted,
+        "network_messages": result.network_messages,
+        "final_env_now": cluster.env.now,
+    }
+
+
+def measure(repeats: int) -> dict:
+    samples: dict = {"micro": {}, "ycsb_small": None}
+    for name, (fn, n) in MICRO_BENCHMARKS.items():
+        best = 0.0
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn(n)
+            elapsed = time.perf_counter() - start
+            best = max(best, n / elapsed)
+        samples["micro"][name] = {"ops_per_s": round(best, 1), "n": n}
+        print(f"  {name:<16} {best:>14,.0f} ops/s")
+    ycsb = run_ycsb_small()
+    samples["ycsb_small"] = ycsb
+    print(
+        f"  {'ycsb_small':<16} {ycsb['wall_s']:>12.3f} s   "
+        f"(committed={ycsb['committed']}, aborted={ycsb['aborted']})"
+    )
+    return samples
+
+
+def check(current: dict, baseline: dict, tolerance: float) -> int:
+    """Compare a fresh measurement against the committed baseline.
+
+    Returns the process exit code: non-zero only for correctness mismatches.
+    """
+    failures = 0
+    base_ycsb = baseline.get("ycsb_small", {})
+    cur_ycsb = current["ycsb_small"]
+    for key in ("committed", "aborted", "network_messages", "final_env_now"):
+        if base_ycsb.get(key) != cur_ycsb[key]:
+            failures += 1
+            print(
+                f"CORRECTNESS FAIL: ycsb_small.{key} = {cur_ycsb[key]}, "
+                f"baseline has {base_ycsb.get(key)} — simulation semantics changed. "
+                "If intentional, regenerate BENCH_substrate.json in this commit."
+            )
+    if failures == 0:
+        print(
+            "correctness: OK (fixed-seed YCSB counts, message totals and "
+            "final clock match the baseline)"
+        )
+
+    base_micro = baseline.get("micro", {})
+    for name, sample in current["micro"].items():
+        base = base_micro.get(name)
+        if not base:
+            print(f"perf: {name} has no baseline sample (new benchmark) — skipping")
+            continue
+        ratio = sample["ops_per_s"] / base["ops_per_s"] if base["ops_per_s"] else 1.0
+        status = "ok" if ratio >= 1.0 - tolerance else "REGRESSION (soft)"
+        print(f"perf: {name:<16} {ratio:6.2f}x vs baseline — {status}")
+    return 1 if failures else 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--check", action="store_true",
+                        help="compare against the committed baseline instead of overwriting it")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help=f"baseline file (default: {DEFAULT_OUTPUT.name})")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="measurement repeats per micro-benchmark (best-of)")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed fractional perf regression before warning (default 0.30)")
+    args = parser.parse_args()
+
+    print(f"bench_gate: measuring substrate benchmarks (best of {args.repeats})")
+    current = {
+        "schema_version": SCHEMA_VERSION,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        **measure(args.repeats),
+    }
+
+    if args.check:
+        if not args.output.exists():
+            print(f"no baseline at {args.output} — writing one instead of checking")
+            args.output.write_text(json.dumps(current, indent=2) + "\n")
+            return 0
+        baseline = json.loads(args.output.read_text())
+        return check(current, baseline, args.tolerance)
+
+    args.output.write_text(json.dumps(current, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,7 +26,7 @@ from ..protocols import create_protocol
 from ..replication.membership import MembershipService
 from ..sim.engine import Environment
 from ..sim.network import Network
-from ..sim.randgen import DeterministicRandom, derive_seed
+from ..sim.randgen import DeterministicRandom, derive_seed, stable_hash
 from ..sim.stats import Counter, RunMetrics
 from ..txn.transaction import Transaction
 from ..workloads.base import Workload
@@ -87,7 +87,9 @@ class Cluster:
 
     # -- helpers used by protocols / schemes / workloads ----------------------------
     def rng_for(self, label: str) -> DeterministicRandom:
-        return DeterministicRandom(derive_seed(self.config.seed, hash(label) & 0xFFFFFFFF))
+        # stable_hash, not hash(): str hashing is randomized per process, which
+        # made fixed-seed runs non-reproducible across interpreter invocations.
+        return DeterministicRandom(derive_seed(self.config.seed, stable_hash(label)))
 
     def new_txn_source(self, partition_id: int, stream_id: int):
         return self.workload.make_source(self, partition_id, stream_id)
@@ -172,6 +174,11 @@ class Cluster:
             self._measure_end = self._measure_start + duration_us
         self.start()
         total = self._measure_end + self.config.epoch_length_us * 3
+        if self._measure_start > 0 and self.env.now < self._measure_start:
+            # Drain the warmup phase, then zero the network counters so the
+            # reported message counts cover only the measurement window.
+            self.env.run(until=self._measure_start)
+            self.network.stats.reset()
         self.env.run(until=self._measure_end)
         self.stopped = True
         # Let in-flight group commits / watermarks drain so latency samples of

@@ -17,12 +17,32 @@ code reads like straight-line pseudo code from the paper:
 Only the features the reproduction needs are implemented: timeouts, generic
 events, processes (which are themselves events and can therefore be awaited),
 and process failure propagation.
+
+Scheduling internals
+--------------------
+
+Regenerating a figure pushes tens of millions of events through this module,
+so the dispatcher is the single hottest code in the repo.  Two queues are
+maintained:
+
+* a binary heap of ``(time, seqno, event)`` for events in the future, and
+* a plain FIFO deque of bare events for events triggered with zero delay
+  at the current time — process kick-offs, interrupts, lock grants,
+  ``all_of`` completions and local ``succeed()`` chains all land here and
+  bypass the heap entirely.
+
+Both queues share one monotone sequence counter (fast-lane events carry
+theirs in the ``_seq`` slot), and the dispatcher always runs the entry with
+the smallest ``(time, seqno)`` pair, so the observable
+event order is exactly the order a single heap would produce: FIFO among
+same-timestamp events, globally sorted by time.  Tests pin this invariant.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
+from collections import deque
+from heapq import heappop, heappush
+from itertools import count
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -49,6 +69,11 @@ class Interrupt(Exception):
 
 # Event state markers.
 _PENDING = object()
+# Marker stored in Event.callbacks once the event has been dispatched.  A
+# fresh event's callbacks field is ``None``; a single waiter is stored bare
+# (most events have exactly one), and a list is only allocated for the rare
+# event with several waiters.
+_PROCESSED: tuple = ()
 
 
 class Event:
@@ -59,9 +84,13 @@ class Event:
     at the current simulated time.
     """
 
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_seq")
+
     def __init__(self, env: "Environment"):
         self.env = env
-        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        # None = no waiters; a bare callable = one waiter; list = several
+        # waiters; _PROCESSED = already fired.
+        self.callbacks: Any = None
         self._value: Any = _PENDING
         self._ok = True
 
@@ -73,7 +102,7 @@ class Event:
     @property
     def processed(self) -> bool:
         """True once callbacks have run."""
-        return self.callbacks is None
+        return self.callbacks is _PROCESSED
 
     @property
     def ok(self) -> bool:
@@ -87,15 +116,20 @@ class Event:
 
     def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
         """Trigger the event successfully with ``value`` after ``delay``."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError("event already triggered")
         self._value = value
-        self.env._schedule(self, delay)
+        env = self.env
+        if delay == 0.0:
+            self._seq = env._next_seq()
+            env._fast_append(self)
+        else:
+            heappush(env._queue, (env._now + delay, env._next_seq(), self))
         return self
 
     def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
         """Trigger the event with an exception; waiters will see it raised."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError("event already triggered")
         if not isinstance(exception, BaseException):
             raise SimulationError("fail() requires an exception instance")
@@ -105,11 +139,16 @@ class Event:
         return self
 
     def add_callback(self, callback: Callable[["Event"], None]) -> None:
-        if self.callbacks is None:
+        callbacks = self.callbacks
+        if callbacks is None:
+            self.callbacks = callback
+        elif callbacks is _PROCESSED:
             # Already processed: run immediately at the current time.
             callback(self)
+        elif type(callbacks) is list:
+            callbacks.append(callback)
         else:
-            self.callbacks.append(callback)
+            self.callbacks = [callbacks, callback]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         state = "triggered" if self.triggered else "pending"
@@ -119,13 +158,23 @@ class Event:
 class Timeout(Event):
     """An event that fires after a fixed delay."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
-        super().__init__(env)
-        self.delay = delay
+        # Inlined Event.__init__ + Event.succeed: a timeout is born triggered
+        # and scheduled, and this constructor runs once per simulated wait.
+        self.env = env
+        self.callbacks = None
         self._value = value
-        env._schedule(self, delay)
+        self._ok = True
+        self.delay = delay
+        if delay == 0.0:
+            self._seq = env._next_seq()
+            env._fast_append(self)
+        else:
+            heappush(env._queue, (env._now + delay, env._next_seq(), self))
 
 
 class Process(Event):
@@ -136,18 +185,20 @@ class Process(Event):
     (``result = yield env.process(child())``).
     """
 
+    __slots__ = ("name", "_generator", "_interrupted_by", "_resume_cb", "_target")
+
     def __init__(self, env: "Environment", generator: Generator, name: str = ""):
         super().__init__(env)
         if not hasattr(generator, "send"):
             raise SimulationError("Process requires a generator")
         self.name = name or getattr(generator, "__name__", "process")
         self._generator = generator
-        self._waiting_on: Optional[Event] = None
         self._interrupted_by: Optional[Interrupt] = None
-        # Kick off the process at the current simulated time.
-        init = Event(env)
-        init.succeed(None)
-        init.add_callback(self._resume)
+        # The bound resume method is allocated once and reused for every wait.
+        resume = self._resume
+        self._resume_cb = resume
+        # Kick off the process at the current simulated time (fast lane).
+        self._target = env._immediate(resume)
 
     @property
     def is_alive(self) -> bool:
@@ -155,25 +206,27 @@ class Process(Event):
 
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at the current time."""
-        if self.triggered:
+        if self._value is not _PENDING:
             return
         self._interrupted_by = Interrupt(cause)
-        wakeup = Event(self.env)
-        wakeup.succeed(None)
-        wakeup.add_callback(self._resume)
+        self.env._immediate(self._resume_cb)
 
     def _resume(self, event: Event) -> None:
-        if self.triggered:
+        if self._value is not _PENDING:
             return
-        self._waiting_on = None
         try:
             if self._interrupted_by is not None:
                 exc, self._interrupted_by = self._interrupted_by, None
                 target = self._generator.throw(exc)
-            elif event.ok:
-                target = self._generator.send(event.value)
+            elif event is not self._target:
+                # Stale wakeup: an interrupt was scheduled but the awaited
+                # event fired (and consumed the interrupt) in the same tick.
+                # The generator is waiting on a different event now.
+                return
+            elif event._ok:
+                target = self._generator.send(event._value)
             else:
-                target = self._generator.throw(event.value)
+                target = self._generator.throw(event._value)
         except StopIteration as stop:
             self.succeed(stop.value)
             return
@@ -186,24 +239,50 @@ class Process(Event):
                 raise
             self.fail(exc)
             return
-        if not isinstance(target, Event):
+        try:
+            callbacks = target.callbacks
+        except AttributeError:
             error = SimulationError(
                 f"process {self.name!r} yielded non-event {target!r}"
             )
             self._generator.close()
             self.fail(error)
             return
-        self._waiting_on = target
-        target.add_callback(self._resume)
+        self._target = target
+        if callbacks is None:
+            target.callbacks = self._resume_cb
+        elif callbacks is _PROCESSED:
+            # Target already processed: resume immediately at the current time.
+            self._resume(target)
+        elif type(callbacks) is list:
+            callbacks.append(self._resume_cb)
+        else:
+            target.callbacks = [callbacks, self._resume_cb]
 
 
 class Environment:
     """The simulation clock and event queue."""
 
+    __slots__ = (
+        "_now",
+        "_queue",
+        "_fast",
+        "_fast_append",
+        "_counter",
+        "_next_seq",
+        "_active_processes",
+    )
+
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, Event]] = []
-        self._counter = itertools.count()
+        # Zero-delay fast-dispatch lane; see the module docstring.  The
+        # append and sequence-draw callables are bound once: the scheduling
+        # fast path runs them for every zero-delay event.
+        self._fast: deque[Event] = deque()
+        self._fast_append = self._fast.append
+        self._counter = count()
+        self._next_seq = self._counter.__next__
         self._active_processes = 0
 
     @property
@@ -222,33 +301,101 @@ class Environment:
         return Process(self, generator, name=name)
 
     # -- scheduling -----------------------------------------------------
+    def _immediate(self, callback: Callable[[Event], None]) -> Event:
+        """Run ``callback`` at the current time via the fast-dispatch lane.
+
+        The single place that builds a pre-succeeded single-callback event;
+        process kick-off, interrupts and one-way sends all go through here so
+        the lane's scheduling invariants live in one spot.
+        """
+        event = Event(self)
+        event._value = None
+        event.callbacks = callback
+        event._seq = self._next_seq()
+        self._fast_append(event)
+        return event
+
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
-        heapq.heappush(self._queue, (self._now + delay, next(self._counter), event))
+        if delay == 0.0:
+            event._seq = self._next_seq()
+            self._fast_append(event)
+        else:
+            heappush(self._queue, (self._now + delay, self._next_seq(), event))
+
+    def _fast_is_next(self) -> bool:
+        """True when the fast lane holds the globally next event.
+
+        The fast lane only contains events at the current time, so it wins
+        unless the heap head is *also* at the current time with a smaller
+        sequence number (i.e. it was scheduled earlier).
+        """
+        queue = self._queue
+        if not queue:
+            return True
+        head = queue[0]
+        return head[0] > self._now or head[1] > self._fast[0]._seq
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if the queue is empty."""
+        if self._fast:
+            return self._now
         return self._queue[0][0] if self._queue else float("inf")
 
     def step(self) -> None:
         """Process the next event in the queue."""
-        if not self._queue:
-            raise SimulationError("step() on an empty event queue")
-        when, _, event = heapq.heappop(self._queue)
-        self._now = when
-        callbacks, event.callbacks = event.callbacks, None
-        if callbacks:
-            for callback in callbacks:
-                callback(event)
+        if self._fast and self._fast_is_next():
+            event = self._fast.popleft()
+        else:
+            if not self._queue:
+                raise SimulationError("step() on an empty event queue")
+            when, _, event = heappop(self._queue)
+            self._now = when
+        callbacks = event.callbacks
+        event.callbacks = _PROCESSED
+        if callbacks is not None:
+            if type(callbacks) is list:
+                for callback in callbacks:
+                    callback(event)
+            else:
+                callbacks(event)
 
     def run(self, until: Optional[float] = None) -> float:
         """Run until simulated time ``until`` (or until the queue drains)."""
         if until is not None and until < self._now:
             raise SimulationError("cannot run into the past")
-        while self._queue:
-            if until is not None and self._queue[0][0] > until:
-                self._now = until
-                return self._now
-            self.step()
+        # The dispatch loop is deliberately inlined (no step() call per event):
+        # it is the hottest loop in the repo.
+        fast = self._fast
+        queue = self._queue
+        popleft = fast.popleft
+        while True:
+            if fast:
+                if queue:
+                    head = queue[0]
+                    if head[0] <= self._now and head[1] < fast[0]._seq:
+                        self._now = head[0]
+                        event = heappop(queue)[2]
+                    else:
+                        event = popleft()
+                else:
+                    event = popleft()
+            elif queue:
+                when = queue[0][0]
+                if until is not None and when > until:
+                    self._now = until
+                    return until
+                self._now = when
+                event = heappop(queue)[2]
+            else:
+                break
+            callbacks = event.callbacks
+            event.callbacks = _PROCESSED
+            if callbacks is not None:
+                if type(callbacks) is list:
+                    for callback in callbacks:
+                        callback(event)
+                else:
+                    callbacks(event)
         if until is not None:
             self._now = until
         return self._now
@@ -256,8 +403,33 @@ class Environment:
     def run_all(self, max_events: int = 50_000_000) -> float:
         """Drain the queue entirely (bounded by ``max_events`` as a safety net)."""
         processed = 0
-        while self._queue:
-            self.step()
+        fast = self._fast
+        queue = self._queue
+        popleft = fast.popleft
+        while True:
+            if fast:
+                if queue:
+                    head = queue[0]
+                    if head[0] <= self._now and head[1] < fast[0]._seq:
+                        self._now = head[0]
+                        event = heappop(queue)[2]
+                    else:
+                        event = popleft()
+                else:
+                    event = popleft()
+            elif queue:
+                self._now = queue[0][0]
+                event = heappop(queue)[2]
+            else:
+                break
+            callbacks = event.callbacks
+            event.callbacks = _PROCESSED
+            if callbacks is not None:
+                if type(callbacks) is list:
+                    for callback in callbacks:
+                        callback(event)
+                else:
+                    callbacks(event)
             processed += 1
             if processed > max_events:
                 raise SimulationError("simulation did not terminate (event budget exceeded)")

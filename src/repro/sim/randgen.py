@@ -4,15 +4,35 @@ Provides a seeded wrapper around :mod:`random` plus a Zipfian generator using
 the classic Gray et al. (SIGMOD '94) rejection-free method, which is what YCSB
 and DBx1000 use.  Every worker gets its own :class:`DeterministicRandom`
 derived from the run seed so that simulations are exactly reproducible.
+
+Two sampling strategies are available for the Zipf distribution:
+
+* ``method="gray"`` (default) — the analytic inverse-CDF approximation, with
+  all per-draw constants hoisted at construction time so a draw is one
+  uniform, two comparisons and at most one ``pow``.  This is the method the
+  determinism goldens are pinned to: it consumes exactly one uniform per draw
+  and reproduces the seed repository's key stream bit-for-bit.
+* ``method="alias"`` — Vose's alias method over the exact Zipf PMF.  Setup is
+  O(n) (cached per ``(n, theta)``), a draw is one uniform and two table
+  lookups with no ``pow`` at all.  It samples the *exact* distribution but
+  consumes the underlying uniform stream differently, so it is opt-in: runs
+  that must match the pinned goldens keep the default.
 """
 
 from __future__ import annotations
 
 import math
 import random
+from zlib import crc32
 from typing import Sequence
 
-__all__ = ["DeterministicRandom", "ZipfGenerator", "derive_seed"]
+__all__ = [
+    "DeterministicRandom",
+    "ZipfGenerator",
+    "AliasSampler",
+    "derive_seed",
+    "stable_hash",
+]
 
 
 def derive_seed(base_seed: int, *components: int) -> int:
@@ -23,28 +43,33 @@ def derive_seed(base_seed: int, *components: int) -> int:
     return seed
 
 
+def stable_hash(label: str) -> int:
+    """Process-independent 32-bit hash of a string label.
+
+    ``hash(str)`` is randomized per interpreter process (PYTHONHASHSEED), so
+    deriving worker seeds from it silently made every run unique.  All seed
+    derivation goes through this function instead, which is what makes the
+    fixed-seed determinism gate (``scripts/bench_gate.py --check``) possible.
+    """
+    return crc32(label.encode("utf-8")) & 0xFFFFFFFF
+
+
 class DeterministicRandom:
     """Seeded random source with the helpers workloads need."""
 
     def __init__(self, seed: int):
         self.seed = seed
         self._rng = random.Random(seed)
+        # Bind the hot entry points straight to the underlying C methods:
+        # workload inner loops call these millions of times per run.
+        self.random = self._rng.random
+        self.uniform = self._rng.uniform
+        self.choice = self._rng.choice
+        self.shuffle = self._rng.shuffle
 
     def uniform_int(self, low: int, high: int) -> int:
         """Uniform integer in [low, high] inclusive."""
         return self._rng.randint(low, high)
-
-    def uniform(self, low: float = 0.0, high: float = 1.0) -> float:
-        return self._rng.uniform(low, high)
-
-    def random(self) -> float:
-        return self._rng.random()
-
-    def choice(self, options: Sequence):
-        return self._rng.choice(options)
-
-    def shuffle(self, items: list) -> None:
-        self._rng.shuffle(items)
 
     def sample_without_replacement(self, low: int, high: int, count: int) -> list[int]:
         """Distinct uniform integers in [low, high]; count must fit the range."""
@@ -77,33 +102,102 @@ class DeterministicRandom:
         return "".join(self._rng.choice(chars) for _ in range(length))
 
 
+class AliasSampler:
+    """Vose alias-method sampler over an arbitrary discrete distribution.
+
+    One uniform draw per sample, O(1) per draw after O(n) setup.  Used by
+    :class:`ZipfGenerator` in ``method="alias"`` mode; exposed separately so
+    other workloads can sample custom discrete distributions cheaply.
+    """
+
+    __slots__ = ("n", "_prob", "_alias", "_random")
+
+    def __init__(self, weights: Sequence[float], rng: DeterministicRandom):
+        n = len(weights)
+        if n == 0:
+            raise ValueError("AliasSampler requires at least one weight")
+        total = math.fsum(weights)
+        if total <= 0:
+            raise ValueError("weights must sum to a positive value")
+        self.n = n
+        self._random = rng.random
+        scaled = [w * n / total for w in weights]
+        prob = [0.0] * n
+        alias = [0] * n
+        small = [i for i, p in enumerate(scaled) if p < 1.0]
+        large = [i for i, p in enumerate(scaled) if p >= 1.0]
+        while small and large:
+            s = small.pop()
+            l = large.pop()
+            prob[s] = scaled[s]
+            alias[s] = l
+            scaled[l] = (scaled[l] + scaled[s]) - 1.0
+            if scaled[l] < 1.0:
+                small.append(l)
+            else:
+                large.append(l)
+        for i in large:
+            prob[i] = 1.0
+        for i in small:
+            prob[i] = 1.0  # numerical leftovers
+        self._prob = prob
+        self._alias = alias
+
+    def next(self) -> int:
+        """Draw one index in ``[0, n)`` using a single uniform."""
+        u = self._random() * self.n
+        i = int(u)
+        if i >= self.n:  # u == 1.0 edge after float scaling
+            i = self.n - 1
+        return i if (u - i) < self._prob[i] else self._alias[i]
+
+
 class ZipfGenerator:
     """Zipfian key generator over ``[0, n_items)`` with skew ``theta``.
 
     ``theta = 0`` degenerates to uniform; ``theta -> 1`` concentrates accesses
-    on a few hot keys.  Uses the Gray et al. analytic method so generation is
-    O(1) per sample after O(1) setup (the zeta constants are memoised per
-    ``(n, theta)`` to keep repeated workload construction cheap).
+    on a few hot keys.  The zeta constants (and the alias tables in ``alias``
+    mode) are memoised per ``(n, theta)`` to keep repeated workload
+    construction cheap.
     """
 
     _zeta_cache: dict[tuple[int, float], float] = {}
+    _alias_cache: dict[tuple[int, float], tuple] = {}
 
-    def __init__(self, n_items: int, theta: float, rng: DeterministicRandom):
+    def __init__(self, n_items: int, theta: float, rng: DeterministicRandom,
+                 method: str = "gray"):
         if n_items <= 0:
             raise ValueError("ZipfGenerator requires at least one item")
         if not 0.0 <= theta < 1.0:
             raise ValueError("theta must be in [0, 1)")
+        if method not in ("gray", "alias"):
+            raise ValueError(f"unknown zipf sampling method {method!r}")
         self.n_items = n_items
         self.theta = theta
+        self.method = method
         self._rng = rng
+        self._random = rng.random
         if theta == 0.0:
+            self.next = self._next_uniform
+            return
+        if method == "alias":
+            self._sampler = self._make_alias_sampler(n_items, theta, rng)
+            self.next = self._sampler.next
             return
         self._zetan = self._zeta(n_items, theta)
         self._zeta2 = self._zeta(2, theta)
         self._alpha = 1.0 / (1.0 - theta)
-        self._eta = (1.0 - math.pow(2.0 / n_items, 1.0 - theta)) / (
-            1.0 - self._zeta2 / self._zetan
-        )
+        denominator = 1.0 - self._zeta2 / self._zetan
+        if denominator == 0.0:
+            # n_items == 2: the analytic tail below is unreachable (every
+            # uz < zetan maps to key 0 or 1), so eta's value is irrelevant —
+            # but the seed code divided by zero here.
+            self._eta = 0.0
+        else:
+            self._eta = (1.0 - math.pow(2.0 / n_items, 1.0 - theta)) / denominator
+        # Per-draw constants hoisted out of next(): the seed code recomputed
+        # pow(0.5, theta) on every draw.
+        self._cut2 = 1.0 + math.pow(0.5, theta)
 
     @classmethod
     def _zeta(cls, n: int, theta: float) -> float:
@@ -112,14 +206,33 @@ class ZipfGenerator:
             cls._zeta_cache[key] = sum(1.0 / math.pow(i, theta) for i in range(1, n + 1))
         return cls._zeta_cache[key]
 
+    @classmethod
+    def _make_alias_sampler(cls, n: int, theta: float, rng: DeterministicRandom) -> AliasSampler:
+        key = (n, theta)
+        tables = cls._alias_cache.get(key)
+        if tables is None:
+            sampler = AliasSampler([1.0 / math.pow(i, theta) for i in range(1, n + 1)], rng)
+            cls._alias_cache[key] = (sampler._prob, sampler._alias)
+            return sampler
+        sampler = AliasSampler.__new__(AliasSampler)
+        sampler.n = n
+        sampler._prob, sampler._alias = tables
+        sampler._random = rng.random
+        return sampler
+
+    def _next_uniform(self) -> int:
+        return self._rng.uniform_int(0, self.n_items - 1)
+
     def next(self) -> int:
-        """Draw the next key in ``[0, n_items)``."""
-        if self.theta == 0.0:
-            return self._rng.uniform_int(0, self.n_items - 1)
-        u = self._rng.random()
+        """Draw the next key in ``[0, n_items)``.
+
+        (Rebound per instance in ``__init__`` to the uniform / alias fast
+        paths; this body is the default Gray et al. analytic method.)
+        """
+        u = self._random()
         uz = u * self._zetan
         if uz < 1.0:
             return 0
-        if uz < 1.0 + math.pow(0.5, self.theta):
+        if uz < self._cut2:
             return 1
-        return int(self.n_items * math.pow(self._eta * u - self._eta + 1.0, self._alpha))
+        return int(self.n_items * (self._eta * u - self._eta + 1.0) ** self._alpha)

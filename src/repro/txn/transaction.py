@@ -92,7 +92,7 @@ class UserAbort(TxnAborted):
         super().__init__(AbortReason.USER, detail)
 
 
-@dataclass
+@dataclass(slots=True)
 class ReadEntry:
     """One record read by the transaction."""
 
@@ -108,7 +108,7 @@ class ReadEntry:
     local: bool = True
 
 
-@dataclass
+@dataclass(slots=True)
 class WriteEntry:
     """One buffered write (installed only at commit)."""
 
@@ -121,7 +121,7 @@ class WriteEntry:
     local: bool = True
 
 
-@dataclass
+@dataclass(slots=True)
 class Transaction:
     """Runtime state of a single transaction attempt."""
 

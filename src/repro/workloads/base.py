@@ -12,7 +12,7 @@ import abc
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Generator, Optional
 
-from ..sim.randgen import DeterministicRandom, derive_seed
+from ..sim.randgen import DeterministicRandom, derive_seed, stable_hash
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..cluster.cluster import Cluster
@@ -21,7 +21,7 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["TransactionSpec", "TxnSource", "Workload"]
 
 
-@dataclass
+@dataclass(slots=True)
 class TransactionSpec:
     """One transaction to execute: a name (for stats) and its logic generator."""
 
@@ -53,7 +53,13 @@ class Workload(abc.ABC):
         """Create a per-worker transaction stream rooted at ``partition_id``."""
 
     def rng(self, cluster: "Cluster", partition_id: int, stream_id: int) -> DeterministicRandom:
-        """Deterministic RNG derived from the run seed, partition and stream."""
+        """Deterministic RNG derived from the run seed, partition and stream.
+
+        Uses :func:`~repro.sim.randgen.stable_hash` so the derived seed is
+        identical in every interpreter process (``hash(str)`` is randomized).
+        """
         return DeterministicRandom(
-            derive_seed(cluster.config.seed, hash(self.name) & 0xFFFF, partition_id, stream_id)
+            derive_seed(
+                cluster.config.seed, stable_hash(self.name) & 0xFFFF, partition_id, stream_id
+            )
         )

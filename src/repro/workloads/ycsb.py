@@ -54,7 +54,7 @@ class YCSBConfig:
             raise ValueError("remote_ops must be within the transaction size")
 
 
-@dataclass
+@dataclass(slots=True)
 class _Operation:
     partition: int
     key: int

@@ -1,0 +1,58 @@
+"""Fixed-seed determinism regression tests.
+
+The perf work on the simulation substrate (slotted events, the zero-delay
+fast-dispatch lane, the network delivery fast paths) must not change *what*
+is simulated — only how fast.  These tests pin that down two ways:
+
+* run-to-run: the same configuration run twice in one process produces
+  byte-identical commit/abort counts and final clock; and
+* golden values: a fixed-seed tiny YCSB run must keep producing the exact
+  numbers recorded when the fast-dispatch lane landed.  Seed-derivation goes
+  through :func:`repro.sim.randgen.stable_hash`, so these hold across
+  interpreter processes (``PYTHONHASHSEED`` does not leak in).
+
+If a PR changes these numbers it has changed event ordering or workload
+sampling semantics — that may be intentional, but it must be explicit:
+re-capture the goldens in the same commit and say so in the PR description.
+``scripts/bench_gate.py --check`` enforces the same invariant against the
+committed ``BENCH_substrate.json``.
+"""
+
+import pytest
+
+from tests.conftest import run_tiny
+
+# protocol -> (committed, aborted, final simulated time).
+GOLDEN = {
+    "primo": (420, 43, 23_000.0),
+    "sundial": (254, 14, 23_000.0),
+    "2pl_nw": (62, 16, 23_000.0),
+}
+
+
+@pytest.mark.parametrize("protocol", sorted(GOLDEN))
+def test_fixed_seed_run_matches_golden_counts(protocol):
+    cluster, result = run_tiny(protocol)
+    committed, aborted, final_now = GOLDEN[protocol]
+    assert result.metrics.committed == committed
+    assert result.metrics.aborted == aborted
+    assert cluster.env.now == final_now
+
+
+def test_same_config_is_deterministic_within_a_process():
+    first_cluster, first = run_tiny("primo")
+    second_cluster, second = run_tiny("primo")
+    assert first.metrics.committed == second.metrics.committed
+    assert first.metrics.aborted == second.metrics.aborted
+    assert first.network_messages == second.network_messages
+    assert first_cluster.env.now == second_cluster.env.now
+
+
+def test_seed_changes_the_outcome():
+    """Guards against the seed being silently ignored somewhere."""
+    _, baseline = run_tiny("primo")
+    _, reseeded = run_tiny("primo", seed=12345)
+    assert (baseline.metrics.committed, baseline.metrics.aborted) != (
+        reseeded.metrics.committed,
+        reseeded.metrics.aborted,
+    )

@@ -287,3 +287,253 @@ def test_run_all_detects_runaway_simulations():
     env.process(forever())
     with pytest.raises(SimulationError):
         env.run_all(max_events=1000)
+
+
+# ---------------------------------------------------------------------------
+# Ordering invariants the zero-delay fast-dispatch lane must preserve.
+# ---------------------------------------------------------------------------
+
+
+def test_zero_delay_events_fire_fifo_with_heap_events_at_the_same_time():
+    """Events succeeded with delay=0 must not overtake same-time heap events.
+
+    A timeout scheduled earlier that lands at time T fires before an event
+    succeeded with zero delay at time T, and vice versa, strictly in
+    scheduling order.
+    """
+    env = Environment()
+    order = []
+
+    def waiter(event, label):
+        yield event
+        order.append(label)
+
+    # heap event landing at t=5 (scheduled first).
+    early_timeout = env.timeout(5.0)
+    env.process(waiter(early_timeout, "heap-early"))
+
+    trigger = env.event()
+
+    def at_five():
+        yield env.timeout(5.0)  # scheduled after early_timeout
+        # Now at t=5: succeed a zero-delay event; a later heap timeout at the
+        # exact same simulated time must still fire after it.
+        trigger.succeed("now")
+        late = env.timeout(0.0)
+        env.process(waiter(late, "fast-late"))
+
+    env.process(waiter(trigger, "fast-trigger"))
+    env.process(at_five())
+    env.run(until=10)
+    assert order == ["heap-early", "fast-trigger", "fast-late"]
+
+
+def test_zero_delay_chain_preserves_scheduling_order():
+    """A chain of immediate succeed() calls runs FIFO, not LIFO."""
+    env = Environment()
+    order = []
+    events = [env.event() for _ in range(5)]
+
+    def waiter(index):
+        yield events[index]
+        order.append(index)
+
+    for i in range(5):
+        env.process(waiter(i))
+    for i in (2, 0, 4, 1, 3):
+        events[i].succeed(i)
+    env.run(until=1)
+    assert order == [2, 0, 4, 1, 3]
+
+
+def test_interrupt_during_zero_delay_chain():
+    """An interrupt lands at the current time even while a fast-dispatch
+    chain of zero-delay events is draining."""
+    env = Environment()
+    seen = []
+
+    def victim():
+        try:
+            yield env.timeout(100.0)
+        except Interrupt as interrupt:
+            seen.append((env.now, interrupt.cause))
+
+    victim_proc = env.process(victim())
+
+    def chain(depth):
+        if depth == 2:
+            victim_proc.interrupt("mid-chain")
+        ev = env.event()
+        ev.succeed(depth)
+        value = yield ev
+        if depth < 4:
+            yield env.process(chain(depth + 1))
+        return value
+
+    env.process(chain(0))
+    env.run(until=50)
+    assert seen == [(0.0, "mid-chain")]
+
+
+def test_interrupting_a_finished_process_is_a_noop():
+    env = Environment()
+
+    def quick():
+        yield env.timeout(1.0)
+        return "done"
+
+    proc = env.process(quick())
+    env.run(until=5)
+    assert proc.value == "done"
+    proc.interrupt("too late")  # must not raise or reschedule anything
+    env.run(until=10)
+    assert proc.value == "done"
+
+
+def test_all_of_with_pre_triggered_events():
+    env = Environment()
+    done = []
+    a = env.event()
+    a.succeed("a")
+    b = env.event()
+
+    def parent():
+        values = yield all_of(env, [a, b])
+        done.append((env.now, values))
+
+    def complete_b():
+        yield env.timeout(3.0)
+        b.succeed("b")
+
+    env.process(parent())
+    env.process(complete_b())
+    env.run(until=10)
+    assert done == [(3.0, ["a", "b"])]
+
+
+def test_all_of_with_all_events_already_processed():
+    env = Environment()
+    a = env.event()
+    a.succeed(1)
+    b = env.event()
+    b.succeed(2)
+    env.run(until=1)  # both events fire and are processed
+    assert a.processed and b.processed
+    done = all_of(env, [a, b])
+    # Every callback ran synchronously on already-processed events.
+    assert done.triggered and done.value == [1, 2]
+
+
+def test_any_of_with_pre_triggered_event_wins_immediately():
+    env = Environment()
+    fast = env.event()
+    fast.succeed("fast")
+    slow = env.timeout(50.0, value="slow")
+    result = []
+
+    def parent():
+        value = yield any_of(env, [fast, slow])
+        result.append((env.now, value))
+
+    env.process(parent())
+    env.run(until=100)
+    assert result == [(0.0, "fast")]
+
+
+def test_multiple_waiters_on_one_event_run_in_subscription_order():
+    env = Environment()
+    order = []
+    shared = env.event()
+
+    def waiter(label):
+        yield shared
+        order.append(label)
+
+    for label in ("a", "b", "c", "d"):
+        env.process(waiter(label))
+    shared.succeed(None)
+    env.run(until=1)
+    assert order == ["a", "b", "c", "d"]
+
+
+def test_peek_sees_zero_delay_events_at_the_current_time():
+    env = Environment()
+    env.timeout(7.0)
+    assert env.peek() == 7.0
+    ev = env.event()
+    ev.succeed(None)
+    assert env.peek() == 0.0
+    env.step()  # drains the zero-delay event first
+    assert env.peek() == 7.0
+
+
+def test_step_interleaves_fast_and_heap_lanes_in_global_order():
+    """A heap event at the current time that was scheduled *earlier* beats a
+    zero-delay event scheduled *later*, even while the fast lane is hot."""
+    env = Environment()
+    order = []
+    first = env.timeout(5.0)
+    second = env.timeout(5.0)
+    zero_delay = env.event()
+
+    def a():
+        yield first
+        order.append("heap-1")
+        # Fired at t=5; `second` (scheduled before this event) is still
+        # pending in the heap at t=5 and must run before the fast lane.
+        zero_delay.succeed(None)
+
+    def b():
+        yield second
+        order.append("heap-2")
+
+    def c():
+        yield zero_delay
+        order.append("fast")
+
+    env.process(a())
+    env.process(b())
+    env.process(c())
+    while env.peek() != float("inf"):  # drive via step() to cover its merge path
+        env.step()
+    assert order == ["heap-1", "heap-2", "fast"]
+
+
+def test_succeed_with_delay_goes_through_the_heap():
+    env = Environment()
+    seen = []
+    ev = env.event()
+    ev.succeed("later", delay=4.0)
+    ev.add_callback(lambda e: seen.append(env.now))
+    env.run(until=10)
+    assert seen == [4.0]
+
+
+def test_interrupt_racing_a_same_tick_succeed_does_not_corrupt_the_process():
+    """If the awaited event fires and an interrupt lands in the same tick,
+    the interrupt wins — and the now-stale wakeup must NOT spuriously resume
+    the generator while it waits on its next event."""
+    env = Environment()
+    trace = []
+
+    def victim():
+        first = env.event()
+        env.process(racer(first))
+        try:
+            value = yield first
+            trace.append(("value", value, env.now))
+        except Interrupt as interrupt:
+            trace.append(("interrupt", interrupt.cause, env.now))
+        second = yield env.timeout(50.0, value="T")
+        trace.append(("second", second, env.now))
+
+    def racer(first):
+        yield env.timeout(5.0)
+        first.succeed("E-value")
+        victim_proc.interrupt("boom")
+
+    victim_proc = env.process(victim())
+    env.run(until=1000)
+    # The interrupt is delivered at t=5 and the later timeout still returns
+    # its own value at t=55 (no phantom send(None) from the stale wakeup).
+    assert trace == [("interrupt", "boom", 5.0), ("second", "T", 55.0)]

@@ -135,3 +135,124 @@ def test_roundtrip_helper_sums_both_directions():
     env, net = make_network(latency=25.0)
     net.set_extra_delay_from(0, 5.0)
     assert net.roundtrip_us(0, 1) == 25.0 + 5.0 + 25.0
+
+
+def test_stats_reset_zeroes_every_counter():
+    env, net = make_network()
+
+    def caller():
+        yield from net.rpc(0, 1, lambda: "x")
+        net.send(0, 2, lambda: None)
+
+    env.process(caller())
+    env.run(until=1000)
+    assert net.stats.messages_sent == 2
+    net.stats.reset()
+    assert net.stats.messages_sent == 0
+    assert net.stats.rpc_calls == 0
+    assert net.stats.one_way_messages == 0
+    assert net.stats.dropped == 0
+    assert net.stats.per_destination == {}
+
+    # Counters keep working after a reset.
+    def second():
+        yield from net.rpc(0, 1, lambda: "y")
+
+    env.process(second())
+    env.run(until=2000)
+    assert net.stats.rpc_calls == 1
+    assert net.stats.per_destination == {1: 1}
+
+
+def test_per_destination_is_a_counter():
+    from collections import Counter
+
+    env, net = make_network()
+    assert isinstance(net.stats.per_destination, Counter)
+    # Counter semantics: missing destinations read as zero.
+    assert net.stats.per_destination[42] == 0
+
+
+def test_generator_handlers_are_driven_after_classification():
+    """A generator handler must still be awaited both for rpc and send, and
+    its classification must be stable across repeated deliveries."""
+    env, net = make_network(latency=10.0)
+    log = []
+
+    def gen_handler(tag):
+        yield env.timeout(5.0)
+        log.append((env.now, tag))
+        return tag
+
+    results = []
+
+    def caller():
+        value = yield from net.rpc(0, 1, gen_handler, "rpc-1")
+        results.append(value)
+        net.send(0, 1, gen_handler, "send-1")
+        value = yield from net.rpc(0, 1, gen_handler, "rpc-2")
+        results.append(value)
+
+    env.process(caller())
+    env.run(until=1000)
+    assert results == ["rpc-1", "rpc-2"]
+    # Both one-way deliveries complete; the send's delivery timeout draws its
+    # sequence number one kick-off hop after rpc-2's arrival timeout, so the
+    # rpc handler runs first at the shared timestamp (matches the pre-fast-path
+    # process-based delivery order).
+    assert [tag for _, tag in log] == ["rpc-1", "rpc-2", "send-1"]
+
+
+def test_plain_send_fires_after_one_way_latency():
+    env, net = make_network(latency=30.0)
+    arrived = []
+    net.send(0, 1, lambda: arrived.append(env.now))
+    env.run(until=1000)
+    assert arrived == [30.0]
+
+
+def test_send_to_node_that_crashes_in_flight_is_dropped():
+    env, net = make_network(latency=50.0)
+    delivered = []
+
+    def crash_soon():
+        yield env.timeout(10.0)
+        net.set_unreachable(1)
+
+    net.send(0, 1, lambda: delivered.append("boom"))
+    env.process(crash_soon())
+    env.run(until=1000)
+    assert delivered == []
+    assert net.stats.dropped == 1
+
+
+def test_latency_fast_path_matches_slow_path():
+    env, net = make_network(latency=20.0)
+    # No faults configured: fast path.
+    assert net.latency(0, 1) == 20.0
+    assert net.latency(3, 3) == net.local_latency_us
+    # Configuring then clearing injection must restore the fast path values.
+    net.set_extra_delay_to(1, 5.0)
+    assert net.latency(0, 1) == 25.0
+    net.set_extra_delay_to(1, 0.0)
+    assert net.latency(0, 1) == 20.0
+
+
+def test_handler_cache_is_bounded_for_per_message_closures():
+    """Protocols pass a fresh closure per message; classification is cached
+    by code object so the cache must stay at one entry (and must not pin
+    every closure's captured state alive)."""
+    env, net = make_network()
+    results = []
+
+    def caller():
+        for i in range(50):
+            def handler(value=i):  # new closure every message
+                return value
+            results.append((yield from net.rpc(0, 1, handler)))
+            net.send(0, 1, handler)
+
+    env.process(caller())
+    env.run(until=100_000)
+    assert results == list(range(50))
+    assert len(net._gen_handlers) == 1

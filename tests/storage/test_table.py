@@ -115,3 +115,86 @@ def test_duplicate_index_name_rejected():
         table.create_index("idx", lambda row: row.get("x"))
     with pytest.raises(TableError):
         table.index("missing")
+
+
+def test_len_is_maintained_across_delete_and_reinsert():
+    """__len__ is a maintained counter now, not a scan — pin its bookkeeping."""
+    table = Table("t")
+    assert len(table) == 0
+    for i in range(5):
+        table.insert(i, {"x": i})
+    assert len(table) == 5
+    table.delete(2)
+    table.delete(4)
+    assert len(table) == 3
+    # Re-insert over a deleted key.
+    table.insert(2, {"x": 22})
+    assert len(table) == 4
+    # Upsert over a live key must not change the count...
+    table.upsert(0, {"x": 100})
+    assert len(table) == 4
+    # ...upsert over a deleted key revives it...
+    table.upsert(4, {"x": 44})
+    assert len(table) == 5
+    # ...and upsert of a brand-new key inserts.
+    table.upsert(9, {"x": 9})
+    assert len(table) == 6
+    table.delete(9)
+    table.delete(0)
+    assert len(table) == 4
+    assert len(table) == sum(1 for _ in table.records())  # agrees with a scan
+
+
+def test_len_agrees_with_scan_under_random_mutation():
+    import random
+
+    rng = random.Random(1234)
+    table = Table("t")
+    live = set()
+    for step in range(2_000):
+        key = rng.randrange(50)
+        action = rng.random()
+        if action < 0.4:
+            if key not in live:
+                table.insert(key, {"v": step})
+                live.add(key)
+        elif action < 0.7:
+            table.upsert(key, {"v": step})
+            live.add(key)
+        elif live and key in live:
+            table.delete(key)
+            live.discard(key)
+    assert len(table) == len(live) == sum(1 for _ in table.records())
+
+
+def test_secondary_index_preserves_insertion_order_after_removals():
+    """TPC-C customer-by-last-name relies on insertion-ordered lookups."""
+    table = Table("customer")
+    table.create_index("by_last", lambda row: row["last"])
+    for key in (10, 30, 20, 40, 50):
+        table.insert(key, {"last": "BARBARBAR"})
+    assert table.index_lookup("by_last", "BARBARBAR") == [10, 30, 20, 40, 50]
+    table.delete(20)
+    assert table.index_lookup("by_last", "BARBARBAR") == [10, 30, 40, 50]
+    table.delete(10)
+    table.insert(10, {"last": "BARBARBAR"})  # re-insert goes to the back
+    assert table.index_lookup("by_last", "BARBARBAR") == [30, 40, 50, 10]
+
+
+def test_secondary_index_remove_of_absent_key_is_a_noop():
+    table = Table("t")
+    index = table.create_index("by_g", lambda row: row["g"])
+    table.insert(1, {"g": "a"})
+    index.remove(99, {"g": "a"})  # not indexed: must not raise
+    index.remove(1, {"g": "zzz"})  # wrong index key: must not raise
+    assert index.lookup("a") == [1]
+
+
+def test_upsert_moves_record_between_index_keys():
+    table = Table("t")
+    table.create_index("by_g", lambda row: row["g"])
+    table.insert(1, {"g": "a"})
+    table.insert(2, {"g": "a"})
+    table.upsert(1, {"g": "b"})
+    assert table.index_lookup("by_g", "a") == [2]
+    assert table.index_lookup("by_g", "b") == [1]
