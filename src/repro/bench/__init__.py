@@ -1,6 +1,21 @@
 """Benchmark harness regenerating every figure of the paper's evaluation."""
 
-from .experiments import ALL_EXPERIMENTS
-from .runner import SCALES, BenchScale, build_workload, run_config
+from .experiments import ALL_EXPERIMENTS, FIGURES, FigureSpec
+from .orchestrator import Cell, ResultCache, SweepOutcome, make_cell, run_cells
+from .runner import SCALES, BenchScale, build_cluster, build_workload, run_config
 
-__all__ = ["ALL_EXPERIMENTS", "SCALES", "BenchScale", "build_workload", "run_config"]
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "FIGURES",
+    "FigureSpec",
+    "Cell",
+    "ResultCache",
+    "SweepOutcome",
+    "make_cell",
+    "run_cells",
+    "SCALES",
+    "BenchScale",
+    "build_cluster",
+    "build_workload",
+    "run_config",
+]

@@ -1,12 +1,24 @@
-"""Command-line entry point: ``python -m repro.bench --figure fig06 --scale medium``."""
+"""Command-line entry point: ``python -m repro.bench --figure fig06 --scale medium``.
+
+Figures are planned first, then the union of their cells is executed through
+the orchestrator — across processes with ``--jobs N`` and memoized under
+``--cache-dir`` so an interrupted or repeated sweep only simulates what is
+missing.  ``--emit-json`` writes the per-figure data dictionaries plus sweep
+accounting as a machine-readable artifact (used by the figures-smoke CI job).
+"""
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 
-from .experiments import ALL_EXPERIMENTS
+from .experiments import FIGURES
+from .orchestrator import SUBSTRATE_VERSION, NullCache, ResultCache, run_cells
 from .runner import SCALES
+
+DEFAULT_CACHE_DIR = ".bench-cache"
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -16,8 +28,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--figure",
+        "--only",
+        dest="figure",
         action="append",
-        choices=sorted(ALL_EXPERIMENTS),
+        choices=sorted(FIGURES),
         help="figure to run (repeatable); default: all figures",
     )
     parser.add_argument(
@@ -26,11 +40,84 @@ def main(argv: list[str] | None = None) -> int:
         choices=sorted(SCALES),
         help="run size: small (seconds per point), medium, or paper",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for cell execution (default: 1, inline)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        metavar="DIR",
+        help=f"on-disk result cache location (default: {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute every cell; neither read nor write the cache",
+    )
+    parser.add_argument(
+        "--emit-json",
+        metavar="OUT",
+        help="write per-figure data and sweep accounting to this JSON file",
+    )
+    parser.add_argument(
+        "--quiet-progress",
+        action="store_true",
+        help="suppress per-cell progress lines on stderr",
+    )
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+
     scale = SCALES[args.scale]
-    figures = args.figure or sorted(ALL_EXPERIMENTS)
-    for name in figures:
-        ALL_EXPERIMENTS[name](scale)
+    figure_names = args.figure or sorted(FIGURES)
+
+    plans = {name: FIGURES[name].plan(scale) for name in figure_names}
+    all_cells = [cell for name in figure_names for cell in plans[name]]
+
+    cache = NullCache() if args.no_cache else ResultCache(args.cache_dir)
+    progress = None
+    if not args.quiet_progress:
+        def progress(message: str) -> None:
+            print(f"[bench] {message}", file=sys.stderr)
+
+    start = time.perf_counter()
+    outcome = run_cells(all_cells, jobs=args.jobs, cache=cache, progress=progress)
+    wall_s = time.perf_counter() - start
+
+    figure_data = {}
+    for name in figure_names:
+        figure_data[name] = FIGURES[name].render(scale, outcome.by_key(plans[name]))
+
+    print(
+        f"\n[bench] {len(all_cells)} cells "
+        f"({outcome.executed} executed, {outcome.cache_hits} cached, "
+        f"{outcome.deduplicated} shared) in {wall_s:.1f}s "
+        f"with --jobs {args.jobs}",
+        file=sys.stderr,
+    )
+
+    if args.emit_json:
+        artifact = {
+            "meta": {
+                "scale": args.scale,
+                "jobs": args.jobs,
+                "figures": figure_names,
+                "substrate_version": SUBSTRATE_VERSION,
+                "cells_total": len(all_cells),
+                "cells_executed": outcome.executed,
+                "cells_cached": outcome.cache_hits,
+                "cells_deduplicated": outcome.deduplicated,
+                "wall_s": round(wall_s, 3),
+            },
+            "figures": figure_data,
+        }
+        with open(args.emit_json, "w", encoding="utf-8") as fh:
+            json.dump(artifact, fh, indent=2, sort_keys=True)
+        print(f"[bench] wrote {args.emit_json}", file=sys.stderr)
     return 0
 
 

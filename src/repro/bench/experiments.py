@@ -1,23 +1,38 @@
 """Figure-level experiments: one function per table/figure of the paper.
 
-Every function takes a :class:`~repro.bench.runner.BenchScale` and returns a
-dictionary with the measured series plus the paper's headline numbers, and
-prints a readable report.  The pytest-benchmark files under ``benchmarks/``
-call these functions at the ``small`` scale; ``python -m repro.bench`` runs
-them at any scale.
+Every figure is split into two halves so the orchestrator can parallelize and
+cache the expensive part:
+
+* a **plan** function declares the figure's simulation *cells* — independent
+  (protocol, workload, scale, knobs) points — as :class:`~repro.bench.orchestrator.Cell`
+  specs without running anything;
+* a **render** function takes ``{cell.key: RunResult}`` for those cells,
+  prints the readable report and returns the figure's data dictionary.
+
+The classic one-shot entry points (``fig04_ycsb_overall(scale)`` …) still
+exist: they plan, execute inline, and render.  ``python -m repro.bench`` goes
+through :data:`FIGURES` instead so it can execute the union of every planned
+cell across processes with an on-disk cache (see ``orchestrator.py``).
+
+The pytest-benchmark files under ``benchmarks/`` call the one-shot functions
+at the ``small`` scale; ``python -m repro.bench`` runs them at any scale.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from dataclasses import dataclass
+from typing import Callable, Optional
 
 from ..core.analysis import AnalysisParameters, ConflictRateModel
 from ..sim.stats import BREAKDOWN_COMPONENTS
+from .orchestrator import Cell, make_cell, run_cells
 from .report import print_header, print_table
-from .runner import BenchScale, SCALES, run_config, sweep_values
+from .runner import BenchScale, SCALES, sweep_values
 
 __all__ = [
     "ALL_EXPERIMENTS",
+    "FIGURES",
+    "FigureSpec",
     "fig04_ycsb_overall",
     "fig05_tpcc_overall",
     "fig06_contention",
@@ -37,28 +52,52 @@ __all__ = [
 OVERALL_PROTOCOLS = ("2pl_nw", "2pl_wd", "silo", "sundial", "aria", "primo")
 
 
-def _overall(scale: BenchScale, workload: str, paper_factor: float, figure: str) -> dict:
-    """Shared implementation of Figs. 4 and 5 (a-d)."""
-    results = {}
-    for protocol in OVERALL_PROTOCOLS:
-        results[protocol] = run_config(protocol, scale, workload=workload)
+def _execute_inline(cells: list[Cell], results: Optional[dict]) -> dict:
+    """Results for ``cells`` keyed by cell key, computing inline if needed."""
+    if results is not None:
+        return results
+    outcome = run_cells(cells, jobs=1, cache=None)
+    return outcome.by_key(cells)
+
+
+# ---------------------------------------------------------------------------
+# Figures 4 and 5: overall performance and breakdowns
+# ---------------------------------------------------------------------------
+
+def _overall_plan(figure: str, scale: BenchScale, workload: str) -> list[Cell]:
+    cells = [
+        make_cell(figure, protocol, protocol, scale, workload=workload)
+        for protocol in OVERALL_PROTOCOLS
+    ]
+    # "Primo w/o WM" for the (b) factor breakdown: WCF with COCO group commit.
+    cells.append(
+        make_cell(figure, "primo@coco", "primo", scale, workload=workload,
+                  durability="coco")
+    )
+    return cells
+
+
+def _overall_render(results: dict, workload: str, paper_factor: float,
+                    figure: str) -> dict:
+    """Shared report of Figs. 4 and 5 (a-d)."""
+    protocol_results = {name: results[name] for name in OVERALL_PROTOCOLS}
 
     # (b) factor breakdown: Sundial reference, then add WCF, then WM.
     # "Primo w/o WM & WCF" (TicToc locally + 2PL/2PC for distributed txns) is
     # approximated by 2PL(WD)+COCO — see EXPERIMENTS.md for the substitution.
     breakdown = {
-        "sundial (reference)": results["sundial"],
-        "primo w/o WM & WCF (2PL+2PC proxy)": results["2pl_wd"],
-        "primo w/o WM (WCF + COCO)": run_config("primo", scale, workload=workload, durability="coco"),
-        "primo (WCF + WM)": results["primo"],
+        "sundial (reference)": protocol_results["sundial"],
+        "primo w/o WM & WCF (2PL+2PC proxy)": protocol_results["2pl_wd"],
+        "primo w/o WM (WCF + COCO)": results["primo@coco"],
+        "primo (WCF + WM)": protocol_results["primo"],
     }
 
-    sundial_tps = results["sundial"].throughput_tps or 1.0
+    sundial_tps = protocol_results["sundial"].throughput_tps or 1.0
     best_other = max(
-        r.throughput_tps for name, r in results.items() if name != "primo"
+        r.throughput_tps for name, r in protocol_results.items() if name != "primo"
     ) or 1.0
     rows = []
-    for name, result in results.items():
+    for name, result in protocol_results.items():
         rows.append(
             (
                 name,
@@ -92,45 +131,75 @@ def _overall(scale: BenchScale, workload: str, paper_factor: float, figure: str)
         ["protocol"] + list(BREAKDOWN_COMPONENTS),
         [
             [name] + [result.breakdown_us.get(c, 0.0) for c in BREAKDOWN_COMPONENTS]
-            for name, result in results.items()
+            for name, result in protocol_results.items()
         ],
     )
 
     print("\n  (d) tail latency (99th percentile, ms)")
     print_table(
         ["protocol", "p99 ms"],
-        [(name, result.p99_latency_ms) for name, result in results.items()],
+        [(name, result.p99_latency_ms) for name, result in protocol_results.items()],
     )
 
     return {
-        "results": {name: r.summary() for name, r in results.items()},
+        "results": {name: r.summary() for name, r in protocol_results.items()},
         "factor_breakdown": {name: r.summary() for name, r in breakdown.items()},
-        "primo_vs_best": results["primo"].throughput_tps / best_other,
+        "primo_vs_best": protocol_results["primo"].throughput_tps / best_other,
         "paper_factor": paper_factor,
     }
 
 
-def fig04_ycsb_overall(scale: BenchScale = SCALES["small"]) -> dict:
+def fig04_plan(scale: BenchScale) -> list[Cell]:
+    return _overall_plan("fig04", scale, "ycsb")
+
+
+def fig04_render(scale: BenchScale, results: dict) -> dict:
+    return _overall_render(results, "ycsb", paper_factor=1.91, figure="Figure 4")
+
+
+def fig04_ycsb_overall(scale: BenchScale = SCALES["small"], *,
+                       results: Optional[dict] = None) -> dict:
     """Figure 4: overall performance and breakdowns on YCSB."""
-    return _overall(scale, "ycsb", paper_factor=1.91, figure="Figure 4")
+    return fig04_render(scale, _execute_inline(fig04_plan(scale), results))
 
 
-def fig05_tpcc_overall(scale: BenchScale = SCALES["small"]) -> dict:
+def fig05_plan(scale: BenchScale) -> list[Cell]:
+    return _overall_plan("fig05", scale, "tpcc")
+
+
+def fig05_render(scale: BenchScale, results: dict) -> dict:
+    return _overall_render(results, "tpcc", paper_factor=1.42, figure="Figure 5")
+
+
+def fig05_tpcc_overall(scale: BenchScale = SCALES["small"], *,
+                       results: Optional[dict] = None) -> dict:
     """Figure 5: overall performance and breakdowns on TPC-C."""
-    return _overall(scale, "tpcc", paper_factor=1.42, figure="Figure 5")
+    return fig05_render(scale, _execute_inline(fig05_plan(scale), results))
 
 
-def fig06_contention(scale: BenchScale = SCALES["small"],
-                     protocols: tuple = ("sundial", "2pl_nw", "primo")) -> dict:
-    """Figure 6: throughput and abort rate vs Zipf skew."""
+# ---------------------------------------------------------------------------
+# Figure 6: contention
+# ---------------------------------------------------------------------------
+
+def fig06_plan(scale: BenchScale,
+               protocols: tuple = ("sundial", "2pl_nw", "primo")) -> list[Cell]:
+    skews = sweep_values([0.0, 0.2, 0.4, 0.6, 0.8, 0.95], scale)
+    return [
+        make_cell("fig06", f"{protocol}@skew{skew}", protocol, scale,
+                  workload="ycsb", workload_overrides={"zipf_theta": skew})
+        for skew in skews
+        for protocol in protocols
+    ]
+
+
+def fig06_render(scale: BenchScale, results: dict,
+                 protocols: tuple = ("sundial", "2pl_nw", "primo")) -> dict:
     skews = sweep_values([0.0, 0.2, 0.4, 0.6, 0.8, 0.95], scale)
     series: dict[str, list] = {p: [] for p in protocols}
     aborts: dict[str, list] = {p: [] for p in protocols}
     for skew in skews:
         for protocol in protocols:
-            result = run_config(
-                protocol, scale, workload="ycsb", workload_overrides={"zipf_theta": skew}
-            )
+            result = results[f"{protocol}@skew{skew}"]
             series[protocol].append(result.throughput_ktps)
             aborts[protocol].append(result.abort_rate)
     print_header(
@@ -149,19 +218,45 @@ def fig06_contention(scale: BenchScale = SCALES["small"],
     return {"skews": skews, "throughput_ktps": series, "abort_rate": aborts}
 
 
-def fig07_distributed_ratio(scale: BenchScale = SCALES["small"],
-                            protocols: tuple = ("sundial", "primo")) -> dict:
-    """Figure 7: throughput vs fraction of distributed transactions."""
+def fig06_contention(scale: BenchScale = SCALES["small"],
+                     protocols: tuple = ("sundial", "2pl_nw", "primo"), *,
+                     results: Optional[dict] = None) -> dict:
+    """Figure 6: throughput and abort rate vs Zipf skew."""
+    cells = fig06_plan(scale, protocols)
+    return fig06_render(scale, _execute_inline(cells, results), protocols)
+
+
+# ---------------------------------------------------------------------------
+# Figure 7: fraction of distributed transactions
+# ---------------------------------------------------------------------------
+
+FIG07_CONTENTION_LEVELS = (("low_contention", 0.0), ("high_contention", 0.9))
+
+
+def fig07_plan(scale: BenchScale,
+               protocols: tuple = ("sundial", "primo")) -> list[Cell]:
+    ratios = sweep_values([0.05, 0.2, 0.4, 0.6, 0.8, 1.0], scale)
+    return [
+        make_cell(
+            "fig07", f"{protocol}@{label}@r{ratio}", protocol, scale,
+            workload="ycsb",
+            workload_overrides={"zipf_theta": skew, "distributed_pct": ratio},
+        )
+        for label, skew in FIG07_CONTENTION_LEVELS
+        for ratio in ratios
+        for protocol in protocols
+    ]
+
+
+def fig07_render(scale: BenchScale, results: dict,
+                 protocols: tuple = ("sundial", "primo")) -> dict:
     ratios = sweep_values([0.05, 0.2, 0.4, 0.6, 0.8, 1.0], scale)
     out = {}
-    for label, skew in (("low_contention", 0.0), ("high_contention", 0.9)):
+    for label, skew in FIG07_CONTENTION_LEVELS:
         series = {p: [] for p in protocols}
         for ratio in ratios:
             for protocol in protocols:
-                result = run_config(
-                    protocol, scale, workload="ycsb",
-                    workload_overrides={"zipf_theta": skew, "distributed_pct": ratio},
-                )
+                result = results[f"{protocol}@{label}@r{ratio}"]
                 series[protocol].append(result.throughput_ktps)
         out[label] = series
         print_header(
@@ -175,19 +270,45 @@ def fig07_distributed_ratio(scale: BenchScale = SCALES["small"],
     return {"ratios": ratios, **out}
 
 
-def fig08_read_write_ratio(scale: BenchScale = SCALES["small"],
-                           protocols: tuple = ("sundial", "primo")) -> dict:
-    """Figure 8: throughput vs % of write operations (20% and 80% distributed)."""
+def fig07_distributed_ratio(scale: BenchScale = SCALES["small"],
+                            protocols: tuple = ("sundial", "primo"), *,
+                            results: Optional[dict] = None) -> dict:
+    """Figure 7: throughput vs fraction of distributed transactions."""
+    cells = fig07_plan(scale, protocols)
+    return fig07_render(scale, _execute_inline(cells, results), protocols)
+
+
+# ---------------------------------------------------------------------------
+# Figure 8: read-write ratio
+# ---------------------------------------------------------------------------
+
+FIG08_DISTRIBUTED_LEVELS = (("20pct_distributed", 0.2), ("80pct_distributed", 0.8))
+
+
+def fig08_plan(scale: BenchScale,
+               protocols: tuple = ("sundial", "primo")) -> list[Cell]:
+    write_ratios = sweep_values([0.0, 0.2, 0.4, 0.6, 0.8, 1.0], scale)
+    return [
+        make_cell(
+            "fig08", f"{protocol}@{label}@w{write_pct}", protocol, scale,
+            workload="ycsb",
+            workload_overrides={"write_pct": write_pct, "distributed_pct": distributed},
+        )
+        for label, distributed in FIG08_DISTRIBUTED_LEVELS
+        for write_pct in write_ratios
+        for protocol in protocols
+    ]
+
+
+def fig08_render(scale: BenchScale, results: dict,
+                 protocols: tuple = ("sundial", "primo")) -> dict:
     write_ratios = sweep_values([0.0, 0.2, 0.4, 0.6, 0.8, 1.0], scale)
     out = {}
-    for label, distributed in (("20pct_distributed", 0.2), ("80pct_distributed", 0.8)):
+    for label, _distributed in FIG08_DISTRIBUTED_LEVELS:
         series = {p: [] for p in protocols}
         for write_pct in write_ratios:
             for protocol in protocols:
-                result = run_config(
-                    protocol, scale, workload="ycsb",
-                    workload_overrides={"write_pct": write_pct, "distributed_pct": distributed},
-                )
+                result = results[f"{protocol}@{label}@w{write_pct}"]
                 series[protocol].append(result.throughput_ktps)
         out[label] = series
         print_header(
@@ -202,17 +323,34 @@ def fig08_read_write_ratio(scale: BenchScale = SCALES["small"],
     return {"write_ratios": write_ratios, **out}
 
 
-def fig09_blind_writes(scale: BenchScale = SCALES["small"]) -> dict:
-    """Figure 9: Primo vs Sundial as the blind-write ratio grows."""
+def fig08_read_write_ratio(scale: BenchScale = SCALES["small"],
+                           protocols: tuple = ("sundial", "primo"), *,
+                           results: Optional[dict] = None) -> dict:
+    """Figure 8: throughput vs % of write operations (20% and 80% distributed)."""
+    cells = fig08_plan(scale, protocols)
+    return fig08_render(scale, _execute_inline(cells, results), protocols)
+
+
+# ---------------------------------------------------------------------------
+# Figure 9: blind writes
+# ---------------------------------------------------------------------------
+
+def fig09_plan(scale: BenchScale) -> list[Cell]:
+    ratios = sweep_values([0.0, 0.2, 0.4, 0.6, 0.8, 1.0], scale)
+    return [
+        make_cell("fig09", f"{protocol}@b{ratio}", protocol, scale,
+                  workload="ycsb", workload_overrides={"blind_write_pct": ratio})
+        for ratio in ratios
+        for protocol in ("primo", "sundial")
+    ]
+
+
+def fig09_render(scale: BenchScale, results: dict) -> dict:
     ratios = sweep_values([0.0, 0.2, 0.4, 0.6, 0.8, 1.0], scale)
     series = {"primo": [], "sundial": []}
     for ratio in ratios:
         for protocol in series:
-            result = run_config(
-                protocol, scale, workload="ycsb",
-                workload_overrides={"blind_write_pct": ratio},
-            )
-            series[protocol].append(result.throughput_ktps)
+            series[protocol].append(results[f"{protocol}@b{ratio}"].throughput_ktps)
     print_header(
         "Figure 9: impact of the blind-write ratio",
         "Primo wins while blind writes < ~80%; even at 100% it needs no more roundtrips than 2PC",
@@ -228,18 +366,39 @@ def fig09_blind_writes(scale: BenchScale = SCALES["small"]) -> dict:
     return {"ratios": ratios, **series}
 
 
-def fig10_warehouses(scale: BenchScale = SCALES["small"],
-                     protocols: tuple = ("sundial", "primo")) -> dict:
-    """Figure 10: TPC-C throughput vs number of warehouses per partition."""
+def fig09_blind_writes(scale: BenchScale = SCALES["small"], *,
+                       results: Optional[dict] = None) -> dict:
+    """Figure 9: Primo vs Sundial as the blind-write ratio grows."""
+    return fig09_render(scale, _execute_inline(fig09_plan(scale), results))
+
+
+# ---------------------------------------------------------------------------
+# Figure 10: warehouses
+# ---------------------------------------------------------------------------
+
+def fig10_plan(scale: BenchScale,
+               protocols: tuple = ("sundial", "primo")) -> list[Cell]:
+    warehouse_counts = sweep_values([1, 2, 4, 8, 16, 32], scale)
+    return [
+        make_cell(
+            "fig10", f"{protocol}@w{warehouses}", protocol, scale,
+            workload="tpcc",
+            workload_overrides={"warehouses_per_partition": warehouses},
+        )
+        for warehouses in warehouse_counts
+        for protocol in protocols
+    ]
+
+
+def fig10_render(scale: BenchScale, results: dict,
+                 protocols: tuple = ("sundial", "primo")) -> dict:
     warehouse_counts = sweep_values([1, 2, 4, 8, 16, 32], scale)
     series = {p: [] for p in protocols}
     for warehouses in warehouse_counts:
         for protocol in protocols:
-            result = run_config(
-                protocol, scale, workload="tpcc",
-                workload_overrides={"warehouses_per_partition": warehouses},
+            series[protocol].append(
+                results[f"{protocol}@w{warehouses}"].throughput_ktps
             )
-            series[protocol].append(result.throughput_ktps)
     print_header(
         "Figure 10: impact of the number of warehouses (TPC-C)",
         "Primo wins at every size; improvement larger with fewer warehouses (1.61x -> 1.15x)",
@@ -252,41 +411,84 @@ def fig10_warehouses(scale: BenchScale = SCALES["small"],
     return {"warehouses": warehouse_counts, **series}
 
 
-def fig11_logging_schemes(scale: BenchScale = SCALES["small"],
-                          workload: str = "ycsb",
-                          protocols: tuple = ("2pl_wd", "sundial", "primo")) -> dict:
-    """Figure 11: CLV vs COCO vs WM under several concurrency-control schemes."""
-    schemes = ("clv", "coco", "wm")
+def fig10_warehouses(scale: BenchScale = SCALES["small"],
+                     protocols: tuple = ("sundial", "primo"), *,
+                     results: Optional[dict] = None) -> dict:
+    """Figure 10: TPC-C throughput vs number of warehouses per partition."""
+    cells = fig10_plan(scale, protocols)
+    return fig10_render(scale, _execute_inline(cells, results), protocols)
+
+
+# ---------------------------------------------------------------------------
+# Figure 11: logging schemes
+# ---------------------------------------------------------------------------
+
+FIG11_SCHEMES = ("clv", "coco", "wm")
+
+
+def fig11_plan(scale: BenchScale, workload: str = "ycsb",
+               protocols: tuple = ("2pl_wd", "sundial", "primo")) -> list[Cell]:
+    return [
+        make_cell("fig11", f"{protocol}@{scheme}", protocol, scale,
+                  workload=workload, durability=scheme)
+        for protocol in protocols
+        for scheme in FIG11_SCHEMES
+    ]
+
+
+def fig11_render(scale: BenchScale, results: dict, workload: str = "ycsb",
+                 protocols: tuple = ("2pl_wd", "sundial", "primo")) -> dict:
     table = {}
     for protocol in protocols:
         table[protocol] = {}
-        for scheme in schemes:
-            result = run_config(protocol, scale, workload=workload, durability=scheme)
-            table[protocol][scheme] = result.throughput_ktps
+        for scheme in FIG11_SCHEMES:
+            table[protocol][scheme] = results[f"{protocol}@{scheme}"].throughput_ktps
     print_header(
         f"Figure 11: logging/group-commit schemes on {workload.upper()}",
         "WM > COCO > CLV for every concurrency-control scheme",
     )
     print_table(
-        ["protocol"] + [s.upper() for s in schemes],
-        [[p] + [table[p][s] for s in schemes] for p in protocols],
+        ["protocol"] + [s.upper() for s in FIG11_SCHEMES],
+        [[p] + [table[p][s] for s in FIG11_SCHEMES] for p in protocols],
     )
     return {"throughput_ktps": table}
 
 
-def fig12_interval(scale: BenchScale = SCALES["small"]) -> dict:
-    """Figure 12: watermark-interval / epoch-size trade-off (latency, crash aborts, throughput)."""
+def fig11_logging_schemes(scale: BenchScale = SCALES["small"],
+                          workload: str = "ycsb",
+                          protocols: tuple = ("2pl_wd", "sundial", "primo"), *,
+                          results: Optional[dict] = None) -> dict:
+    """Figure 11: CLV vs COCO vs WM under several concurrency-control schemes."""
+    cells = fig11_plan(scale, workload, protocols)
+    return fig11_render(scale, _execute_inline(cells, results), workload, protocols)
+
+
+# ---------------------------------------------------------------------------
+# Figure 12: watermark interval / epoch size
+# ---------------------------------------------------------------------------
+
+def fig12_plan(scale: BenchScale) -> list[Cell]:
+    intervals_ms = sweep_values([2.0, 5.0, 10.0, 20.0, 40.0], scale)
+    crash_time = scale.warmup_us + scale.duration_us * 0.6
+    return [
+        make_cell(
+            "fig12", f"{scheme}@i{interval_ms}", "primo", scale,
+            workload="ycsb", durability=scheme,
+            epoch_length_us=interval_ms * 1000.0,
+            crash_partition=1, crash_time_us=crash_time,
+        )
+        for interval_ms in intervals_ms
+        for scheme in ("wm", "coco")
+    ]
+
+
+def fig12_render(scale: BenchScale, results: dict) -> dict:
     intervals_ms = sweep_values([2.0, 5.0, 10.0, 20.0, 40.0], scale)
     rows = []
     data = {"wm": {}, "coco": {}}
     for interval_ms in intervals_ms:
         for scheme in ("wm", "coco"):
-            crash_time = scale.warmup_us + scale.duration_us * 0.6
-            result = run_config(
-                "primo", scale, workload="ycsb", durability=scheme,
-                epoch_length_us=interval_ms * 1000.0,
-                crash_partition=1, crash_time_us=crash_time,
-            )
+            result = results[f"{scheme}@i{interval_ms}"]
             data[scheme][interval_ms] = result
             rows.append(
                 (scheme, interval_ms, result.mean_latency_ms,
@@ -305,27 +507,55 @@ def fig12_interval(scale: BenchScale = SCALES["small"]) -> dict:
     }
 
 
-def fig13_lagging(scale: BenchScale = SCALES["small"]) -> dict:
-    """Figure 13: lagging watermark/epoch messages and a slow partition."""
-    from ..cluster.cluster import Cluster
-    from ..cluster.config import SystemConfig
-    from .runner import build_workload
+def fig12_interval(scale: BenchScale = SCALES["small"], *,
+                   results: Optional[dict] = None) -> dict:
+    """Figure 12: watermark-interval / epoch-size trade-off (latency, crash aborts, throughput)."""
+    return fig12_render(scale, _execute_inline(fig12_plan(scale), results))
 
+
+# ---------------------------------------------------------------------------
+# Figure 13: lagging watermarks and slow partitions
+# ---------------------------------------------------------------------------
+
+FIG13_SLOW_VARIANTS = (
+    ("wm_force_update", True), ("wm_no_force_update", False), ("coco", None),
+)
+
+
+def fig13_plan(scale: BenchScale) -> list[Cell]:
+    delays_ms = sweep_values([0.0, 5.0, 10.0, 20.0, 30.0], scale)
+    cells = [
+        # (a) delay only the watermark/epoch control messages of partition 1.
+        make_cell(
+            "fig13", f"{scheme}@d{delay_ms}", "primo", scale,
+            workload="ycsb", durability=scheme,
+            durability_message_delay=(1, delay_ms * 1000.0),
+        )
+        for delay_ms in delays_ms
+        for scheme in ("wm", "coco")
+    ]
+    for label, force_update in FIG13_SLOW_VARIANTS:
+        scheme = "coco" if label == "coco" else "wm"
+        cells.append(
+            make_cell(
+                # (b) slow down partition 1 by inflating its message latency.
+                "fig13", f"slow@{label}", "primo", scale,
+                workload="ycsb", durability=scheme,
+                watermark_force_update=bool(force_update),
+                cpu_record_access_us=0.4,
+                network_extra_delay_to=(1, 200.0),
+            )
+        )
+    return cells
+
+
+def fig13_render(scale: BenchScale, results: dict) -> dict:
     delays_ms = sweep_values([0.0, 5.0, 10.0, 20.0, 30.0], scale)
     message_delay = {"wm": {"throughput": [], "latency": []},
                      "coco": {"throughput": [], "latency": []}}
     for delay_ms in delays_ms:
         for scheme in ("wm", "coco"):
-            config = SystemConfig.for_protocol(
-                "primo", durability=scheme,
-                duration_us=scale.duration_us, warmup_us=scale.warmup_us,
-                workers_per_partition=scale.workers_per_partition,
-                inflight_per_worker=scale.inflight_per_worker,
-            )
-            cluster = Cluster(config, build_workload(scale, "ycsb"))
-            # Delay only the watermark/epoch control messages of partition 1.
-            cluster.durability.set_message_delay(1, delay_ms * 1000.0)
-            result = cluster.run()
+            result = results[f"{scheme}@d{delay_ms}"]
             message_delay[scheme]["throughput"].append(result.throughput_ktps)
             message_delay[scheme]["latency"].append(result.mean_latency_ms)
 
@@ -342,22 +572,9 @@ def fig13_lagging(scale: BenchScale = SCALES["small"]) -> dict:
         ],
     )
 
-    # (b) a slow partition: fewer worker fibers on partition 1 (masked cores).
     slow = {}
-    for label, force_update in (("wm_force_update", True), ("wm_no_force_update", False), ("coco", None)):
-        scheme = "coco" if label == "coco" else "wm"
-        config = SystemConfig.for_protocol(
-            "primo", durability=scheme,
-            duration_us=scale.duration_us, warmup_us=scale.warmup_us,
-            workers_per_partition=scale.workers_per_partition,
-            inflight_per_worker=scale.inflight_per_worker,
-            watermark_force_update=bool(force_update),
-            cpu_record_access_us=0.4,
-        )
-        cluster = Cluster(config, build_workload(scale, "ycsb"))
-        # Slow down partition 1 by inflating its message/processing latency.
-        cluster.network.set_extra_delay_to(1, 200.0)
-        result = cluster.run()
+    for label, _force_update in FIG13_SLOW_VARIANTS:
+        result = results[f"slow@{label}"]
         slow[label] = {"throughput_ktps": result.throughput_ktps,
                        "latency_ms": result.mean_latency_ms}
     print_header(
@@ -371,22 +588,47 @@ def fig13_lagging(scale: BenchScale = SCALES["small"]) -> dict:
     return {"delays_ms": delays_ms, "message_delay": message_delay, "slow_partition": slow}
 
 
-def fig14_scalability(scale: BenchScale = SCALES["small"], workload: str = "ycsb",
-                      protocols: tuple = ("sundial", "primo")) -> dict:
-    """Figure 14: scalability with the number of partitions (plus Primo with COCO)."""
+def fig13_lagging(scale: BenchScale = SCALES["small"], *,
+                  results: Optional[dict] = None) -> dict:
+    """Figure 13: lagging watermark/epoch messages and a slow partition."""
+    return fig13_render(scale, _execute_inline(fig13_plan(scale), results))
+
+
+# ---------------------------------------------------------------------------
+# Figure 14: scalability
+# ---------------------------------------------------------------------------
+
+def fig14_plan(scale: BenchScale, workload: str = "ycsb",
+               protocols: tuple = ("sundial", "primo")) -> list[Cell]:
+    partition_counts = sweep_values([1, 2, 4, 8, 12, 16, 20], scale)
+    cells = []
+    for n_partitions in partition_counts:
+        for protocol in protocols:
+            cells.append(
+                make_cell("fig14", f"{protocol}@n{n_partitions}", protocol, scale,
+                          workload=workload, n_partitions=n_partitions)
+            )
+        cells.append(
+            make_cell("fig14", f"primo(coco)@n{n_partitions}", "primo", scale,
+                      workload=workload, n_partitions=n_partitions,
+                      durability="coco")
+        )
+    return cells
+
+
+def fig14_render(scale: BenchScale, results: dict, workload: str = "ycsb",
+                 protocols: tuple = ("sundial", "primo")) -> dict:
     partition_counts = sweep_values([1, 2, 4, 8, 12, 16, 20], scale)
     series: dict[str, list] = {p: [] for p in protocols}
     series["primo(coco)"] = []
     for n_partitions in partition_counts:
         for protocol in protocols:
-            result = run_config(
-                protocol, scale, workload=workload, n_partitions=n_partitions
+            series[protocol].append(
+                results[f"{protocol}@n{n_partitions}"].throughput_ktps
             )
-            series[protocol].append(result.throughput_ktps)
-        result = run_config(
-            "primo", scale, workload=workload, n_partitions=n_partitions, durability="coco"
+        series["primo(coco)"].append(
+            results[f"primo(coco)@n{n_partitions}"].throughput_ktps
         )
-        series["primo(coco)"].append(result.throughput_ktps)
     print_header(
         f"Figure 14: scalability on {workload.upper()}",
         "Primo scales best (3.2x/1.7x over the best baseline at 20 partitions); COCO flattens past ~12",
@@ -399,25 +641,47 @@ def fig14_scalability(scale: BenchScale = SCALES["small"], workload: str = "ycsb
     return {"partitions": partition_counts, "throughput_ktps": series}
 
 
-def fig15_tapir(scale: BenchScale = SCALES["small"]) -> dict:
-    """Figure 15: Primo vs TAPIR (single worker per server, as in §6.6)."""
-    conditions = [
-        ("low_contention_20pct", 0.0, 0.2),
-        ("low_contention_80pct", 0.0, 0.8),
-        ("high_contention_20pct", 0.9, 0.2),
-        ("high_contention_80pct", 0.9, 0.8),
+def fig14_scalability(scale: BenchScale = SCALES["small"], workload: str = "ycsb",
+                      protocols: tuple = ("sundial", "primo"), *,
+                      results: Optional[dict] = None) -> dict:
+    """Figure 14: scalability with the number of partitions (plus Primo with COCO)."""
+    cells = fig14_plan(scale, workload, protocols)
+    return fig14_render(scale, _execute_inline(cells, results), workload, protocols)
+
+
+# ---------------------------------------------------------------------------
+# Figure 15: TAPIR comparison
+# ---------------------------------------------------------------------------
+
+FIG15_CONDITIONS = (
+    ("low_contention_20pct", 0.0, 0.2),
+    ("low_contention_80pct", 0.0, 0.8),
+    ("high_contention_20pct", 0.9, 0.2),
+    ("high_contention_80pct", 0.9, 0.8),
+)
+
+
+def fig15_plan(scale: BenchScale) -> list[Cell]:
+    return [
+        make_cell(
+            "fig15", f"{protocol}@{label}", protocol, scale,
+            workload="ycsb",
+            workload_overrides={"zipf_theta": skew, "distributed_pct": distributed},
+            workers_per_partition=1, inflight_per_worker=4,
+        )
+        for label, skew, distributed in FIG15_CONDITIONS
+        for protocol in ("primo", "tapir")
     ]
+
+
+def fig15_render(scale: BenchScale, results: dict) -> dict:
     rows = []
     data = {}
-    for label, skew, distributed in conditions:
-        entry = {}
-        for protocol in ("primo", "tapir"):
-            result = run_config(
-                protocol, scale, workload="ycsb",
-                workload_overrides={"zipf_theta": skew, "distributed_pct": distributed},
-                workers_per_partition=1, inflight_per_worker=4,
-            )
-            entry[protocol] = result
+    for label, _skew, _distributed in FIG15_CONDITIONS:
+        entry = {
+            protocol: results[f"{protocol}@{label}"]
+            for protocol in ("primo", "tapir")
+        }
         data[label] = entry
         ratio = entry["primo"].throughput_tps / max(entry["tapir"].throughput_tps, 1e-9)
         rows.append(
@@ -436,8 +700,21 @@ def fig15_tapir(scale: BenchScale = SCALES["small"]) -> dict:
     }
 
 
-def appendix_analysis(scale: BenchScale = SCALES["small"]) -> dict:
-    """Appendix A: the analytical conflict-rate model (CR_2PC vs CR_Primo)."""
+def fig15_tapir(scale: BenchScale = SCALES["small"], *,
+                results: Optional[dict] = None) -> dict:
+    """Figure 15: Primo vs TAPIR (single worker per server, as in §6.6)."""
+    return fig15_render(scale, _execute_inline(fig15_plan(scale), results))
+
+
+# ---------------------------------------------------------------------------
+# Appendix A: analytical model (no simulation cells)
+# ---------------------------------------------------------------------------
+
+def appendix_plan(scale: BenchScale) -> list[Cell]:
+    return []
+
+
+def appendix_render(scale: BenchScale, results: dict) -> dict:
     base = AnalysisParameters()
     read_ratios = [0.0, 0.2, 0.4, 0.6, 0.8, 0.9, 1.0]
     rows = ConflictRateModel.sweep_read_ratio(base, read_ratios)
@@ -452,7 +729,48 @@ def appendix_analysis(scale: BenchScale = SCALES["small"]) -> dict:
     return {"rows": rows}
 
 
-#: name -> callable, used by the CLI and the pytest-benchmark suite.
+def appendix_analysis(scale: BenchScale = SCALES["small"], *,
+                      results: Optional[dict] = None) -> dict:
+    """Appendix A: the analytical conflict-rate model (CR_2PC vs CR_Primo)."""
+    return appendix_render(scale, results or {})
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FigureSpec:
+    """Planner/renderer pair the orchestrator drives for one figure.
+
+    ``plan(scale)`` declares the cells; ``render(scale, results_by_key)``
+    consumes ``{cell.key: RunResult}`` and returns the figure's data dict.
+    """
+
+    name: str
+    plan: Callable
+    render: Callable
+
+
+#: name -> FigureSpec, used by ``python -m repro.bench`` and the figures gate.
+FIGURES: dict[str, FigureSpec] = {
+    "fig04": FigureSpec("fig04", fig04_plan, fig04_render),
+    "fig05": FigureSpec("fig05", fig05_plan, fig05_render),
+    "fig06": FigureSpec("fig06", fig06_plan, fig06_render),
+    "fig07": FigureSpec("fig07", fig07_plan, fig07_render),
+    "fig08": FigureSpec("fig08", fig08_plan, fig08_render),
+    "fig09": FigureSpec("fig09", fig09_plan, fig09_render),
+    "fig10": FigureSpec("fig10", fig10_plan, fig10_render),
+    "fig11": FigureSpec("fig11", fig11_plan, fig11_render),
+    "fig12": FigureSpec("fig12", fig12_plan, fig12_render),
+    "fig13": FigureSpec("fig13", fig13_plan, fig13_render),
+    "fig14": FigureSpec("fig14", fig14_plan, fig14_render),
+    "fig15": FigureSpec("fig15", fig15_plan, fig15_render),
+    "appendix": FigureSpec("appendix", appendix_plan, appendix_render),
+}
+
+#: name -> one-shot callable (plan + inline execute + render), kept for the
+#: pytest-benchmark suite and any callers that predate the orchestrator.
 ALL_EXPERIMENTS = {
     "fig04": fig04_ycsb_overall,
     "fig05": fig05_tpcc_overall,

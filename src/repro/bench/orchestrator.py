@@ -1,0 +1,348 @@
+"""Parallel figure-sweep orchestrator with a resumable on-disk result cache.
+
+Regenerating the paper's figures decomposes into independent *cells*: one
+fixed-seed simulation per (protocol, workload, scale, knobs) point.  This
+module turns each cell into a declarative :class:`Cell` spec, executes the
+whole set across CPU cores with a :class:`~concurrent.futures.ProcessPoolExecutor`,
+and memoizes every cell's :class:`~repro.cluster.results.RunResult` in an
+on-disk JSON cache keyed by a stable hash of the cell spec plus the substrate
+version.  Interrupted or repeated sweeps therefore resume: only cells whose
+spec (or the simulator itself) changed are recomputed.
+
+Determinism contract
+--------------------
+
+A cell produces **bit-identical** commit/abort counts whether it runs inline
+(``jobs=1``), in a pool worker, or comes back from the cache.  Two properties
+make that hold:
+
+* all simulation seeding goes through ``repro.sim.randgen.stable_hash``
+  (crc32-based), so a fixed-seed run is reproducible across processes and
+  interpreter restarts (see "Determinism ground rules" in ROADMAP.md);
+* every result — including one computed inline — is normalized through the
+  JSON round-trip (:meth:`RunResult.to_json_dict` /
+  :meth:`RunResult.from_json_dict`) before it is handed to a renderer, so the
+  three execution paths cannot diverge even in float formatting.
+
+Cache layout
+------------
+
+``<cache-dir>/<sha256-prefix>.json`` — one file per cell, containing the
+schema version, the substrate version, the cell spec (for human inspection
+and integrity checking) and the serialized result.  Files are written
+atomically (tmp + rename) so an interrupted sweep never leaves a corrupt
+entry; unreadable or mismatched entries are treated as misses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Optional, Sequence
+
+from .. import __version__ as _REPRO_VERSION
+from ..cluster.results import RunResult
+from .runner import BenchScale, build_cluster
+
+__all__ = [
+    "Cell",
+    "NullCache",
+    "ResultCache",
+    "SweepOutcome",
+    "SUBSTRATE_VERSION",
+    "CACHE_SCHEMA_VERSION",
+    "execute_cell",
+    "make_cell",
+    "run_cells",
+]
+
+#: Version of the simulation substrate baked into every cache key.  Bump the
+#: package version (or wipe the cache) when simulation semantics change; the
+#: bench gate (``scripts/bench_gate.py --check``) hard-fails on unintentional
+#: semantic drift, so a stale cache and a drifted substrate cannot silently
+#: coexist on CI.
+SUBSTRATE_VERSION = _REPRO_VERSION
+
+#: Version of the on-disk cache file format itself.
+CACHE_SCHEMA_VERSION = 1
+
+
+def _freeze_overrides(overrides: Optional[dict]) -> tuple:
+    """Normalize an override dict into a sorted, hashable tuple of pairs."""
+    if not overrides:
+        return ()
+    frozen = []
+    for name in sorted(overrides):
+        value = overrides[name]
+        if isinstance(value, (list, tuple)):
+            value = tuple(value)
+        frozen.append((name, value))
+    return tuple(frozen)
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One independent simulation point of a figure sweep.
+
+    ``figure`` and ``key`` identify the cell to its renderer; everything else
+    describes the physics of the run and is what the cache key hashes.  Two
+    cells that differ only in ``figure``/``key`` share one simulation.
+    """
+
+    figure: str
+    key: str
+    protocol: str
+    scale: BenchScale
+    workload: str = "ycsb"
+    workload_overrides: tuple = ()
+    config_overrides: tuple = ()
+    #: (partition_id, delay_us) applied via ``durability.set_message_delay``
+    #: after the cluster is built (Fig. 13a's lagging control messages).
+    durability_message_delay: Optional[tuple] = None
+    #: (partition_id, extra_delay_us) applied via ``network.set_extra_delay_to``
+    #: (Fig. 13b's slow partition).
+    network_extra_delay_to: Optional[tuple] = None
+
+    @property
+    def cell_id(self) -> str:
+        return f"{self.figure}/{self.key}"
+
+    def spec(self) -> dict:
+        """The physics of the cell — everything that determines its result.
+
+        Excludes ``figure`` and ``key`` (presentation identity), so identical
+        configurations planned by different figures share a cache entry.
+        """
+        return {
+            "protocol": self.protocol,
+            "workload": self.workload,
+            "scale": dataclasses.asdict(self.scale),
+            "workload_overrides": [list(pair) for pair in self.workload_overrides],
+            "config_overrides": [list(pair) for pair in self.config_overrides],
+            "durability_message_delay": (
+                list(self.durability_message_delay)
+                if self.durability_message_delay
+                else None
+            ),
+            "network_extra_delay_to": (
+                list(self.network_extra_delay_to)
+                if self.network_extra_delay_to
+                else None
+            ),
+        }
+
+    def cache_key(self) -> str:
+        """Stable content hash of the spec plus the substrate version."""
+        payload = json.dumps(
+            {"substrate": SUBSTRATE_VERSION, "spec": self.spec()},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
+
+
+def make_cell(
+    figure: str,
+    key: str,
+    protocol: str,
+    scale: BenchScale,
+    workload: str = "ycsb",
+    workload_overrides: Optional[dict] = None,
+    durability_message_delay: Optional[tuple] = None,
+    network_extra_delay_to: Optional[tuple] = None,
+    **config_overrides,
+) -> Cell:
+    """Convenience constructor mirroring :func:`repro.bench.runner.run_config`."""
+    return Cell(
+        figure=figure,
+        key=key,
+        protocol=protocol,
+        scale=scale,
+        workload=workload,
+        workload_overrides=_freeze_overrides(workload_overrides),
+        config_overrides=_freeze_overrides(config_overrides),
+        durability_message_delay=(
+            tuple(durability_message_delay) if durability_message_delay else None
+        ),
+        network_extra_delay_to=(
+            tuple(network_extra_delay_to) if network_extra_delay_to else None
+        ),
+    )
+
+
+def execute_cell(cell: Cell) -> RunResult:
+    """Run one cell's simulation to completion (in the current process)."""
+    cluster = build_cluster(
+        cell.protocol,
+        cell.scale,
+        cell.workload,
+        workload_overrides=dict(cell.workload_overrides),
+        **dict(cell.config_overrides),
+    )
+    if cell.durability_message_delay is not None:
+        partition, delay_us = cell.durability_message_delay
+        cluster.durability.set_message_delay(partition, delay_us)
+    if cell.network_extra_delay_to is not None:
+        partition, delay_us = cell.network_extra_delay_to
+        cluster.network.set_extra_delay_to(partition, delay_us)
+    return cluster.run()
+
+
+def _pool_execute(cell: Cell) -> dict:
+    """Pool-worker entry point: run a cell, ship the result back as JSON."""
+    return execute_cell(cell).to_json_dict()
+
+
+class ResultCache:
+    """On-disk JSON memo of cell results, keyed by :meth:`Cell.cache_key`."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+
+    def path_for(self, cache_key: str) -> Path:
+        return self.root / f"{cache_key}.json"
+
+    def get(self, cell: Cell) -> Optional[RunResult]:
+        """Return the cached result for ``cell``, or ``None`` on a miss.
+
+        Corrupt, unreadable or schema-mismatched entries count as misses —
+        an interrupted or version-skewed cache degrades to recomputation,
+        never to a crash or a wrong figure.
+        """
+        path = self.path_for(cell.cache_key())
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                entry = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(entry, dict):
+            return None
+        if entry.get("schema") != CACHE_SCHEMA_VERSION:
+            return None
+        if entry.get("substrate_version") != SUBSTRATE_VERSION:
+            return None
+        try:
+            return RunResult.from_json_dict(entry["result"])
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def put(self, cell: Cell, result_json: dict) -> None:
+        """Atomically persist one cell's serialized result."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "substrate_version": SUBSTRATE_VERSION,
+            "spec": cell.spec(),
+            "result": result_json,
+        }
+        fd, tmp_path = tempfile.mkstemp(
+            dir=self.root, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(entry, fh, sort_keys=True)
+            os.replace(tmp_path, self.path_for(cell.cache_key()))
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+
+
+class NullCache:
+    """Cache stand-in that never hits and never stores (``--no-cache``)."""
+
+    def get(self, cell: Cell) -> Optional[RunResult]:
+        return None
+
+    def put(self, cell: Cell, result_json: dict) -> None:
+        pass
+
+
+@dataclass
+class SweepOutcome:
+    """Results of one orchestrated sweep, plus execution accounting."""
+
+    results: dict = field(default_factory=dict)  # Cell -> RunResult
+    executed: int = 0       # simulations actually run this sweep
+    cache_hits: int = 0     # unique cells served from the on-disk cache
+    deduplicated: int = 0   # cells that shared another cell's simulation
+
+    def by_key(self, cells: Iterable[Cell]) -> dict:
+        """Results for ``cells`` keyed by ``cell.key`` (a renderer's view)."""
+        return {cell.key: self.results[cell] for cell in cells}
+
+
+def run_cells(
+    cells: Sequence[Cell],
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> SweepOutcome:
+    """Execute every cell, using the cache and up to ``jobs`` processes.
+
+    Identical specs (same cache key) are simulated once and shared.  With
+    ``jobs <= 1`` everything runs inline in this process; either way each
+    result is normalized through the JSON round-trip so inline, pooled and
+    cached executions are indistinguishable.
+    """
+    cache = cache if cache is not None else NullCache()
+    notify = progress or (lambda message: None)
+
+    # Deduplicate by cache key, preserving plan order.
+    unique: dict[str, list[Cell]] = {}
+    for cell in cells:
+        unique.setdefault(cell.cache_key(), []).append(cell)
+
+    outcome = SweepOutcome()
+    outcome.deduplicated = len(cells) - len(unique)
+    resolved: dict[str, RunResult] = {}
+
+    pending: list[tuple[str, Cell]] = []
+    for cache_key, aliases in unique.items():
+        cached = cache.get(aliases[0])
+        if cached is not None:
+            resolved[cache_key] = cached
+            outcome.cache_hits += 1
+            notify(f"cache hit  {aliases[0].cell_id}")
+        else:
+            pending.append((cache_key, aliases[0]))
+
+    if pending and jobs <= 1:
+        for cache_key, cell in pending:
+            notify(f"running    {cell.cell_id}")
+            result_json = execute_cell(cell).to_json_dict()
+            cache.put(cell, result_json)
+            resolved[cache_key] = RunResult.from_json_dict(result_json)
+            outcome.executed += 1
+    elif pending:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = {
+                pool.submit(_pool_execute, cell): (cache_key, cell)
+                for cache_key, cell in pending
+            }
+            notify(
+                f"running    {len(pending)} cells on up to {jobs} worker processes"
+            )
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in done:
+                    cache_key, cell = futures[future]
+                    result_json = future.result()
+                    cache.put(cell, result_json)
+                    resolved[cache_key] = RunResult.from_json_dict(result_json)
+                    outcome.executed += 1
+                    notify(f"finished   {cell.cell_id}")
+
+    for cache_key, aliases in unique.items():
+        for cell in aliases:
+            outcome.results[cell] = resolved[cache_key]
+    return outcome

@@ -7,7 +7,7 @@ to the measured one so the shape comparison is immediate.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Iterable
 
 __all__ = ["print_table", "print_header", "format_ratio", "print_series"]
 

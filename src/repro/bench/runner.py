@@ -27,7 +27,14 @@ from ..workloads.tatp import TATPConfig, TATPWorkload
 from ..workloads.tpcc import TPCCConfig, TPCCWorkload
 from ..workloads.ycsb import YCSBConfig, YCSBWorkload
 
-__all__ = ["BenchScale", "SCALES", "run_config", "build_workload"]
+__all__ = [
+    "BenchScale",
+    "SCALES",
+    "TINY_SCALE",
+    "build_cluster",
+    "run_config",
+    "build_workload",
+]
 
 
 @dataclass(frozen=True)
@@ -86,6 +93,23 @@ SCALES: dict[str, BenchScale] = {
 }
 
 
+#: Tiny preset for tests and gates: each cell simulates in a fraction of a
+#: second.  Deliberately not in :data:`SCALES` so the CLI only offers the
+#: figure-quality presets.
+TINY_SCALE = BenchScale(
+    name="tiny",
+    duration_us=6_000.0,
+    warmup_us=2_000.0,
+    workers_per_partition=1,
+    inflight_per_worker=2,
+    ycsb_keys_per_partition=2_000,
+    tpcc_warehouses_per_partition=2,
+    tpcc_items=50,
+    tpcc_customers_per_district=10,
+    sweep_points=2,
+)
+
+
 def build_workload(scale: BenchScale, workload: str = "ycsb", **overrides):
     """Construct a workload object with the scale's size defaults applied."""
     if workload == "ycsb":
@@ -107,14 +131,18 @@ def build_workload(scale: BenchScale, workload: str = "ycsb", **overrides):
     raise ValueError(f"unknown workload {workload!r}")
 
 
-def run_config(
+def build_cluster(
     protocol: str,
     scale: BenchScale,
     workload: str = "ycsb",
     workload_overrides: Optional[dict] = None,
     **config_overrides,
-) -> RunResult:
-    """Run one configuration point and return its results."""
+) -> Cluster:
+    """Build (but do not run) the cluster for one configuration point.
+
+    Shared by :func:`run_config` and the orchestrator's cell executor so the
+    two paths cannot diverge in how they apply scale defaults and overrides.
+    """
     config = SystemConfig.for_protocol(
         protocol,
         duration_us=config_overrides.pop("duration_us", scale.duration_us),
@@ -128,7 +156,20 @@ def run_config(
         **config_overrides,
     )
     workload_obj = build_workload(scale, workload, **(workload_overrides or {}))
-    cluster = Cluster(config, workload_obj)
+    return Cluster(config, workload_obj)
+
+
+def run_config(
+    protocol: str,
+    scale: BenchScale,
+    workload: str = "ycsb",
+    workload_overrides: Optional[dict] = None,
+    **config_overrides,
+) -> RunResult:
+    """Run one configuration point and return its results."""
+    cluster = build_cluster(
+        protocol, scale, workload, workload_overrides, **config_overrides
+    )
     return cluster.run()
 
 

@@ -8,7 +8,7 @@ they are deliberately explicit so ablation benches can sweep them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional
 
 __all__ = ["SystemConfig", "PROTOCOLS", "DURABILITY_SCHEMES"]

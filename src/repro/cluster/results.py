@@ -2,12 +2,25 @@
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Optional
 
 from ..sim.stats import RunMetrics
 
 __all__ = ["RunResult"]
+
+
+def _jsonify(value):
+    """Best-effort conversion of ``extra`` payloads to JSON-safe values."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return _jsonify(dataclasses.asdict(value))
+    if isinstance(value, dict):
+        return {str(k): _jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set)):
+        return [_jsonify(v) for v in value]
+    return repr(value)
 
 
 @dataclass
@@ -75,6 +88,39 @@ class RunResult:
             }
         )
         return data
+
+    def to_json_dict(self) -> dict:
+        """Lossless JSON form used by the orchestrator cache and pool workers.
+
+        ``RunResult.from_json_dict(result.to_json_dict())`` reports exactly the
+        same counts, latencies and breakdowns as ``result`` itself; ``extra``
+        is converted best-effort (dataclasses become plain dicts).
+        """
+        return {
+            "protocol": self.protocol,
+            "durability": self.durability,
+            "workload": self.workload,
+            "n_partitions": self.n_partitions,
+            "metrics": self.metrics.to_json_dict(),
+            "network_messages": self.network_messages,
+            "per_txn_type": dict(self.per_txn_type),
+            "abort_reasons": dict(self.abort_reasons),
+            "extra": _jsonify(self.extra),
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "RunResult":
+        return cls(
+            protocol=data["protocol"],
+            durability=data["durability"],
+            workload=data["workload"],
+            n_partitions=int(data["n_partitions"]),
+            metrics=RunMetrics.from_json_dict(data["metrics"]),
+            network_messages=int(data.get("network_messages", 0)),
+            per_txn_type=dict(data.get("per_txn_type", {})),
+            abort_reasons=dict(data.get("abort_reasons", {})),
+            extra=dict(data.get("extra", {})),
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (

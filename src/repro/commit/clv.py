@@ -23,14 +23,8 @@ how CLV implementations batch dependency releases in practice.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
-
 from ..sim.engine import Event
 from .base import CRASH_ABORTED, DURABLE, DurabilityScheme
-
-if TYPE_CHECKING:  # pragma: no cover
-    from ..cluster.server import Server
-    from ..txn.transaction import Transaction
 
 __all__ = ["ControlledLockViolation"]
 

@@ -20,16 +20,12 @@ both of which grow with the number of partitions.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import Optional
 
 from ..sim.engine import Event, all_of
 from ..sim.network import NodeUnreachable
 from .base import CRASH_ABORTED, DURABLE, DurabilityScheme
 from .logging import LogRecordKind
-
-if TYPE_CHECKING:  # pragma: no cover
-    from ..cluster.server import Server
-    from ..txn.transaction import Transaction
 
 __all__ = ["CocoGroupCommit"]
 

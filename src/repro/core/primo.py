@@ -21,7 +21,7 @@ after a failure.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Generator, Optional
+from typing import TYPE_CHECKING, Callable, Generator
 
 from ..commit.logging import LogRecordKind
 from ..protocols.base import BaseProtocol, install_write_entries

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Generator, Optional
 
-from ..storage.lock import LockMode, LockPolicy
+from ..storage.lock import LockMode
 from ..storage.record import Record
 from ..txn.transaction import AbortReason, ReadEntry, Transaction, TxnAborted
 

@@ -28,7 +28,7 @@ below is durable — this scheme exposes :meth:`resolve_after_crash` for that.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING
 
 from ..commit.base import CRASH_ABORTED, DURABLE, DurabilityScheme
 from ..commit.logging import LogRecordKind

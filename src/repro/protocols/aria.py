@@ -23,7 +23,7 @@ Aria replaces the per-worker closed loop: the cluster starts
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Generator, Optional
+from typing import TYPE_CHECKING, Generator
 
 from ..sim.engine import all_of
 from ..storage.lock import LockPolicy

@@ -22,9 +22,9 @@ Shared helpers implemented here:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable, Optional
+from typing import TYPE_CHECKING, Callable, Generator, Iterable
 
-from ..storage.lock import LockMode, LockPolicy
+from ..storage.lock import LockPolicy
 from ..storage.table import TableError
 from ..txn.context import TxnContext
 from ..txn.transaction import AbortReason, Transaction, TxnAborted, WriteEntry

@@ -25,7 +25,7 @@ from typing import TYPE_CHECKING, Generator
 from ..commit.logging import LogRecordKind
 from ..sim.engine import all_of
 from ..sim.network import NodeUnreachable
-from ..txn.transaction import AbortReason, Transaction, TxnAborted
+from ..txn.transaction import AbortReason, Transaction
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..cluster.server import Server

@@ -18,7 +18,7 @@ acknowledgement latency is a network round trip from the leader.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Generator, Optional
+from typing import Generator
 
 from ..sim.engine import Environment, Event
 from ..sim.network import Network

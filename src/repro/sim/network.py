@@ -29,7 +29,7 @@ import inspect
 from collections import Counter
 from dataclasses import dataclass, field
 from types import GeneratorType
-from typing import Any, Callable, Generator, Optional
+from typing import Any, Callable, Generator
 
 from .engine import Environment, Event, Timeout
 

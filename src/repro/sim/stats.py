@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from typing import Iterable
 
 __all__ = [
     "Counter",
@@ -47,6 +47,13 @@ class Counter:
 
     def as_dict(self) -> dict[str, int]:
         return dict(self._counts)
+
+    @classmethod
+    def from_dict(cls, counts: dict) -> "Counter":
+        counter = cls()
+        for name, value in counts.items():
+            counter._counts[name] = int(value)
+        return counter
 
     def merge(self, other: "Counter") -> None:
         for name, value in other._counts.items():
@@ -99,6 +106,17 @@ class LatencyRecorder:
     def max(self) -> float:
         return max(self._samples) if self._samples else 0.0
 
+    @property
+    def samples(self) -> list[float]:
+        """The raw samples in recording order (used for serialization)."""
+        return list(self._samples)
+
+    @classmethod
+    def from_samples(cls, samples: Iterable[float]) -> "LatencyRecorder":
+        recorder = cls()
+        recorder._samples = [float(s) for s in samples]
+        return recorder
+
 
 class BreakdownTimer:
     """Accumulates per-component time for the latency-breakdown figures."""
@@ -132,6 +150,17 @@ class BreakdownTimer:
             component: self._totals.get(component, 0.0) / self._txn_count
             for component in BREAKDOWN_COMPONENTS
         }
+
+    def to_json_dict(self) -> dict:
+        return {"totals": dict(self._totals), "txn_count": self._txn_count}
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "BreakdownTimer":
+        timer = cls()
+        for component, value in data.get("totals", {}).items():
+            timer._totals[component] = float(value)
+        timer._txn_count = int(data.get("txn_count", 0))
+        return timer
 
 
 @dataclass
@@ -192,3 +221,32 @@ class RunMetrics:
             "p99_latency_ms": self.p99_latency_ms,
             "breakdown_us": self.breakdown.per_transaction(),
         }
+
+    def to_json_dict(self) -> dict:
+        """Lossless JSON form (inverse of :meth:`from_json_dict`).
+
+        Unlike :meth:`summary` this keeps the raw latency samples and counter
+        values, so a deserialized ``RunMetrics`` reports byte-identical
+        statistics — the property the orchestrator's on-disk cache relies on.
+        """
+        return {
+            "duration_us": self.duration_us,
+            "committed": self.committed,
+            "aborted": self.aborted,
+            "crash_aborted": self.crash_aborted,
+            "counters": self.counters.as_dict(),
+            "latency_samples": self.latency.samples,
+            "breakdown": self.breakdown.to_json_dict(),
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "RunMetrics":
+        return cls(
+            duration_us=float(data["duration_us"]),
+            committed=int(data["committed"]),
+            aborted=int(data["aborted"]),
+            crash_aborted=int(data.get("crash_aborted", 0)),
+            counters=Counter.from_dict(data.get("counters", {})),
+            latency=LatencyRecorder.from_samples(data.get("latency_samples", [])),
+            breakdown=BreakdownTimer.from_json_dict(data.get("breakdown", {})),
+        )

@@ -10,7 +10,7 @@ the TPC-C tables read naturally; YCSB simply stores ``{"field0": ...}``.
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any
 
 __all__ = ["Record"]
 

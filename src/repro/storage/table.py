@@ -8,7 +8,7 @@ primary keys having that index key — enough to express the TPC-C lookups
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, Iterator, Optional
+from typing import Any, Callable, Iterator, Optional
 
 from .record import Record
 

@@ -16,7 +16,7 @@ updates/inserts, user aborts and index lookups.
 
 from __future__ import annotations
 
-from typing import Any, Generator, Optional
+from typing import Generator
 
 from .transaction import Transaction, UserAbort, WriteEntry
 

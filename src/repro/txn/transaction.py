@@ -13,7 +13,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 from functools import total_ordering
-from typing import Any, Callable, Optional
+from typing import Any, Optional
 
 __all__ = [
     "TxnId",

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Generator
 
-from ..sim.randgen import DeterministicRandom, ZipfGenerator
+from ..sim.randgen import DeterministicRandom
 from .base import TransactionSpec, TxnSource, Workload
 
 if TYPE_CHECKING:  # pragma: no cover

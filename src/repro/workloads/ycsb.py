@@ -15,7 +15,7 @@ The knobs map one-to-one to the sweeps in §6.3:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Generator
 
 from ..sim.randgen import DeterministicRandom, ZipfGenerator

@@ -1,0 +1,90 @@
+"""Tests of the ``python -m repro.bench`` orchestrating CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import runner
+from repro.bench.__main__ import main
+from repro.bench.runner import TINY_SCALE
+
+TEST_SCALE = TINY_SCALE
+
+
+@pytest.fixture
+def tiny_scale(monkeypatch):
+    """Expose the test scale to the CLI as ``--scale tiny``."""
+    monkeypatch.setitem(runner.SCALES, "tiny", TEST_SCALE)
+    return "tiny"
+
+
+def run_cli(*argv: str) -> int:
+    return main(list(argv))
+
+
+def test_cli_runs_a_single_figure_and_emits_json(tiny_scale, tmp_path, capsys):
+    artifact = tmp_path / "figures.json"
+    code = run_cli(
+        "--only", "fig09", "--scale", tiny_scale,
+        "--jobs", "2",
+        "--cache-dir", str(tmp_path / "cache"),
+        "--emit-json", str(artifact),
+        "--quiet-progress",
+    )
+    assert code == 0
+    assert "Figure 9" in capsys.readouterr().out
+
+    data = json.loads(artifact.read_text())
+    assert data["meta"]["figures"] == ["fig09"]
+    assert data["meta"]["jobs"] == 2
+    assert data["meta"]["cells_executed"] == data["meta"]["cells_total"] > 0
+    assert data["meta"]["cells_cached"] == 0
+    fig09 = data["figures"]["fig09"]
+    assert len(fig09["primo"]) == len(fig09["ratios"]) == TEST_SCALE.sweep_points
+
+
+def test_cli_second_invocation_resumes_from_cache(tiny_scale, tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    first = tmp_path / "first.json"
+    second = tmp_path / "second.json"
+    args = ("--only", "fig09", "--scale", tiny_scale, "--cache-dir", cache_dir,
+            "--quiet-progress")
+    assert run_cli(*args, "--emit-json", str(first)) == 0
+    assert run_cli(*args, "--emit-json", str(second)) == 0
+
+    cold = json.loads(first.read_text())
+    warm = json.loads(second.read_text())
+    assert cold["meta"]["cells_executed"] > 0
+    assert warm["meta"]["cells_executed"] == 0
+    assert warm["meta"]["cells_cached"] == warm["meta"]["cells_total"]
+    # Cached results render to exactly the same figure data.
+    assert warm["figures"] == cold["figures"]
+
+
+def test_cli_no_cache_skips_the_cache_entirely(tiny_scale, tmp_path):
+    cache_dir = tmp_path / "cache"
+    artifact = tmp_path / "figures.json"
+    code = run_cli(
+        "--only", "fig09", "--scale", tiny_scale,
+        "--cache-dir", str(cache_dir), "--no-cache",
+        "--emit-json", str(artifact), "--quiet-progress",
+    )
+    assert code == 0
+    assert not cache_dir.exists()
+    assert json.loads(artifact.read_text())["meta"]["cells_cached"] == 0
+
+
+def test_cli_only_is_an_alias_for_figure(tiny_scale, tmp_path, capsys):
+    code = run_cli("--figure", "appendix", "--scale", tiny_scale,
+                   "--cache-dir", str(tmp_path / "cache"), "--quiet-progress")
+    assert code == 0
+    assert "Appendix A" in capsys.readouterr().out
+
+
+def test_cli_rejects_bad_jobs_and_unknown_figures(tiny_scale, tmp_path):
+    with pytest.raises(SystemExit):
+        run_cli("--jobs", "0", "--scale", tiny_scale)
+    with pytest.raises(SystemExit):
+        run_cli("--only", "fig99", "--scale", tiny_scale)

@@ -1,6 +1,5 @@
 """Tests for the write-ahead log manager and its replication-backed flushes."""
 
-import pytest
 
 from repro.commit.logging import LogManager, LogRecordKind
 from repro.replication.raft import ReplicationGroup

@@ -1,7 +1,6 @@
 """Unit tests for Primo's WCF protocol: mode switch, exclusive read locks,
 one-way commit, blind-write handling and abort cleanup."""
 
-import pytest
 
 from repro.storage.lock import LockMode
 

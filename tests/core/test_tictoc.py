@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.txn.transaction import ReadEntry, Transaction, TxnAborted, TxnId, WriteEntry
+from repro.txn.transaction import ReadEntry, Transaction, TxnId, WriteEntry
 from repro.core.tictoc import compute_commit_ts
 
 from tests.conftest import make_manual_cluster, run_txn

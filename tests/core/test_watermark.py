@@ -1,6 +1,5 @@
 """Tests for the watermark-based distributed group commit."""
 
-import pytest
 
 from repro.commit.base import CRASH_ABORTED, DURABLE
 from repro.core.watermark import WatermarkGroupCommit

@@ -3,29 +3,51 @@
 import pytest
 
 from repro.bench import ALL_EXPERIMENTS, SCALES, build_workload, run_config
-from repro.bench.runner import BenchScale, sweep_values
+from repro.bench.runner import TINY_SCALE, sweep_values
 from repro.bench.report import format_ratio, print_header, print_table
 
 
 #: An even smaller scale than "small" so harness tests run in a few seconds.
-TEST_SCALE = BenchScale(
-    name="test",
-    duration_us=6_000.0,
-    warmup_us=2_000.0,
-    workers_per_partition=1,
-    inflight_per_worker=2,
-    ycsb_keys_per_partition=2_000,
-    tpcc_warehouses_per_partition=2,
-    tpcc_items=50,
-    tpcc_customers_per_district=10,
-    sweep_points=2,
-)
+TEST_SCALE = TINY_SCALE
 
 
 def test_all_figures_are_registered():
     expected = {f"fig{i:02d}" for i in range(4, 16)} | {"appendix"}
     assert set(ALL_EXPERIMENTS) == expected
     assert set(SCALES) == {"small", "medium", "paper"}
+
+
+def test_figures_registry_mirrors_all_experiments():
+    from repro.bench import FIGURES
+
+    assert set(FIGURES) == set(ALL_EXPERIMENTS)
+    for name, spec in FIGURES.items():
+        assert spec.name == name
+        assert callable(spec.plan) and callable(spec.render)
+
+
+def test_every_figure_plan_declares_valid_cells():
+    from repro.bench import FIGURES
+
+    for name, spec in FIGURES.items():
+        cells = spec.plan(TEST_SCALE)
+        assert isinstance(cells, list)
+        keys = [cell.key for cell in cells]
+        assert len(keys) == len(set(keys)), f"{name} has duplicate cell keys"
+        for cell in cells:
+            assert cell.figure == name
+            assert cell.cache_key()  # hashable, stable spec
+
+
+def test_figure_functions_render_from_preexecuted_results():
+    from repro.bench import FIGURES
+    from repro.bench.orchestrator import run_cells
+
+    cells = FIGURES["fig09"].plan(TEST_SCALE)
+    outcome = run_cells(cells, jobs=1)
+    data = ALL_EXPERIMENTS["fig09"](TEST_SCALE, results=outcome.by_key(cells))
+    inline = ALL_EXPERIMENTS["fig09"](TEST_SCALE)
+    assert data == inline  # rendering is a pure function of the results
 
 
 def test_run_config_returns_a_result_for_every_protocol():

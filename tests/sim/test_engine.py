@@ -4,7 +4,6 @@ import pytest
 
 from repro.sim.engine import (
     Environment,
-    Event,
     Interrupt,
     SimulationError,
     all_of,

@@ -1,6 +1,5 @@
 """Unit tests for the simulated network."""
 
-import pytest
 
 from repro.sim.engine import Environment
 from repro.sim.network import Network, NodeUnreachable

@@ -1,6 +1,5 @@
 """Tests for the lock manager: modes, policies, fairness and invariants."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,6 +1,5 @@
 """Tests for transaction identifiers, read/write sets and status bookkeeping."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
