@@ -1,50 +1,56 @@
 #!/usr/bin/env python3
 """Contention sweep plus the analytical model of Appendix A.
 
-Sweeps the YCSB Zipf skew (the paper's contention knob, Fig. 6) for Primo and
-Sundial on the simulator, then evaluates the closed-form conflict-rate model
-of Appendix A over the read ratio to show where the model predicts Primo's
-advantage to disappear (read-heavy, mostly-distributed workloads).
+Uses :func:`repro.scenarios.sweep` to expand one base
+:class:`repro.ScenarioSpec` into the (protocol × skew) grid of the paper's
+contention study (Fig. 6), runs every point, then evaluates the closed-form
+conflict-rate model of Appendix A over the read ratio to show where the model
+predicts Primo's advantage to disappear (read-heavy, mostly-distributed
+workloads).
 
 Run with:  python examples/contention_sweep.py
 """
 
-from repro import (
-    AnalysisParameters,
-    Cluster,
-    ConflictRateModel,
-    SystemConfig,
-    YCSBConfig,
-    YCSBWorkload,
-)
+import repro
+from repro import AnalysisParameters, ConflictRateModel
 
-
-def run(protocol: str, skew: float) -> tuple[float, float]:
-    config = SystemConfig.for_protocol(
-        protocol,
-        n_partitions=4,
-        workers_per_partition=2,
-        inflight_per_worker=2,
-        duration_us=25_000.0,
-        warmup_us=6_000.0,
-    )
-    workload = YCSBWorkload(YCSBConfig(keys_per_partition=20_000, zipf_theta=skew))
-    result = Cluster(config, workload).run()
-    return result.throughput_ktps, result.abort_rate
+SKEWS = (0.0, 0.4, 0.6, 0.8)
+PROTOCOLS = ("primo", "sundial")
 
 
 def main() -> None:
+    base = repro.ScenarioSpec(
+        protocol="primo",
+        workload="ycsb",
+        scale="small",
+        config_overrides={
+            "n_partitions": 4,
+            "workers_per_partition": 2,
+            "inflight_per_worker": 2,
+            "duration_us": 25_000.0,
+            "warmup_us": 6_000.0,
+        },
+        workload_overrides={"keys_per_partition": 20_000},
+    )
+    # One validated spec per (protocol, skew) pair; ``zipf_theta`` is routed
+    # to the workload config, ``protocol`` to the spec field.
+    grid = repro.sweep(base, protocol=list(PROTOCOLS), zipf_theta=list(SKEWS))
+    results = {
+        (spec.protocol, dict(spec.workload_overrides)["zipf_theta"]): repro.run(spec)
+        for spec in grid
+    }
+
     print("Measured: YCSB contention sweep (paper Fig. 6)")
     print("-" * 72)
     print(f"{'skew':>6} {'primo kTPS':>12} {'sundial kTPS':>14} {'ratio':>8} "
           f"{'primo abort':>12} {'sundial abort':>14}")
-    for skew in (0.0, 0.4, 0.6, 0.8):
-        primo_tps, primo_abort = run("primo", skew)
-        sundial_tps, sundial_abort = run("sundial", skew)
+    for skew in SKEWS:
+        primo = results[("primo", skew)]
+        sundial = results[("sundial", skew)]
         print(
-            f"{skew:>6.2f} {primo_tps:>12.1f} {sundial_tps:>14.1f} "
-            f"{primo_tps / max(sundial_tps, 1e-9):>7.2f}x "
-            f"{primo_abort:>12.2%} {sundial_abort:>14.2%}"
+            f"{skew:>6.2f} {primo.throughput_ktps:>12.1f} {sundial.throughput_ktps:>14.1f} "
+            f"{primo.throughput_tps / max(sundial.throughput_tps, 1e-9):>7.2f}x "
+            f"{primo.abort_rate:>12.2%} {sundial.abort_rate:>14.2%}"
         )
 
     print()

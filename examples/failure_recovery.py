@@ -1,8 +1,11 @@
 #!/usr/bin/env python3
 """Failure and recovery demo: what happens when a partition leader crashes.
 
-Kills one partition leader in the middle of a Primo run and walks through the
-recovery protocol of §5.2: failure detection by the membership service,
+Declares the crash as part of the scenario — ``crash_partition`` /
+``crash_time_us`` are ordinary config overrides on a
+:class:`repro.ScenarioSpec` — then uses :func:`repro.build` (rather than
+:func:`repro.run`) to keep a handle on the cluster, so the post-run recovery
+state of §5.2 can be inspected: failure detection by the membership service,
 leader re-election, watermark agreement (every partition publishes its latest
 partition watermark, the maximum wins), rollback of the transactions above the
 agreed watermark, and resumption of normal processing.
@@ -10,25 +13,29 @@ agreed watermark, and resumption of normal processing.
 Run with:  python examples/failure_recovery.py
 """
 
-from repro import Cluster, SystemConfig, YCSBConfig, YCSBWorkload
+import repro
 
 
 def main() -> None:
-    config = SystemConfig.for_protocol(
-        "primo",
-        n_partitions=4,
-        workers_per_partition=2,
-        inflight_per_worker=2,
-        duration_us=60_000.0,
-        warmup_us=10_000.0,
-        epoch_length_us=5_000.0,
-        crash_partition=2,
-        crash_time_us=40_000.0,      # kill partition 2 at t = 40 ms
-        heartbeat_interval_us=1_000.0,
-        heartbeat_timeout_us=5_000.0,
+    spec = repro.ScenarioSpec(
+        protocol="primo",
+        workload="ycsb",
+        scale="small",
+        config_overrides={
+            "n_partitions": 4,
+            "workers_per_partition": 2,
+            "inflight_per_worker": 2,
+            "duration_us": 60_000.0,
+            "warmup_us": 10_000.0,
+            "epoch_length_us": 5_000.0,
+            "crash_partition": 2,
+            "crash_time_us": 40_000.0,   # kill partition 2 at t = 40 ms
+            "heartbeat_interval_us": 1_000.0,
+            "heartbeat_timeout_us": 5_000.0,
+        },
+        workload_overrides={"keys_per_partition": 10_000},
     )
-    workload = YCSBWorkload(YCSBConfig(keys_per_partition=10_000))
-    cluster = Cluster(config, workload)
+    cluster = repro.build(spec)
     result = cluster.run()
 
     print("Primo run with a partition-leader crash at t = 40 ms")

@@ -1,28 +1,37 @@
 #!/usr/bin/env python3
 """Quickstart: run Primo and the strongest 2PC baseline on YCSB.
 
-Builds a 4-partition simulated cluster, runs the default medium-contention
-YCSB mix under Primo (WCF + watermark group commit) and under Sundial
-(TicToc + 2PC + COCO group commit), and prints throughput, abort rate and
-latency side by side — the small-scale analogue of the paper's Figure 4a.
+Declares one :class:`repro.ScenarioSpec` per protocol — the package's single
+entry point — and runs the default medium-contention YCSB mix under Primo
+(WCF + watermark group commit) and under Sundial (TicToc + 2PC + COCO group
+commit), printing throughput, abort rate and latency side by side — the
+small-scale analogue of the paper's Figure 4a.
+
+A spec validates eagerly: misspell ``"primo"`` or ``"zipf_theta"`` below and
+the script fails on the ScenarioSpec line with a did-you-mean suggestion,
+before any simulation starts.
 
 Run with:  python examples/quickstart.py
 """
 
-from repro import Cluster, SystemConfig, YCSBConfig, YCSBWorkload
+import repro
 
 
 def run_protocol(protocol: str) -> None:
-    config = SystemConfig.for_protocol(
-        protocol,
-        n_partitions=4,
-        workers_per_partition=2,
-        inflight_per_worker=2,
-        duration_us=40_000.0,   # 40 ms of simulated time
-        warmup_us=10_000.0,
+    spec = repro.ScenarioSpec(
+        protocol=protocol,
+        workload="ycsb",
+        scale="small",
+        config_overrides={
+            "n_partitions": 4,
+            "workers_per_partition": 2,
+            "inflight_per_worker": 2,
+            "duration_us": 40_000.0,   # 40 ms of simulated time
+            "warmup_us": 10_000.0,
+        },
+        workload_overrides={"keys_per_partition": 20_000, "zipf_theta": 0.6},
     )
-    workload = YCSBWorkload(YCSBConfig(keys_per_partition=20_000, zipf_theta=0.6))
-    result = Cluster(config, workload).run()
+    result = repro.run(spec)
     print(
         f"{protocol:8s}  {result.throughput_ktps:8.1f} kTPS   "
         f"abort {result.abort_rate:6.2%}   "

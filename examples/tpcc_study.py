@@ -3,45 +3,58 @@
 
 Runs the full five-transaction TPC-C mix (NewOrder, Payment, OrderStatus,
 Delivery, StockLevel) on a simulated 4-partition cluster for several
-protocols, and then shows how the number of warehouses per partition changes
-Primo's advantage (fewer warehouses = more contention = larger win,
-paper Figs. 5 and 10).
+protocols via the scenario API, then shows how the number of warehouses per
+partition changes Primo's advantage (fewer warehouses = more contention =
+larger win, paper Figs. 5 and 10) — the warehouse sweep is a one-liner with
+:func:`repro.sweep`.
 
 Run with:  python examples/tpcc_study.py
 """
 
-from repro import Cluster, SystemConfig, TPCCConfig, TPCCWorkload
+import repro
+
+BASE = dict(
+    workload="tpcc",
+    scale="small",
+    config_overrides={
+        "n_partitions": 4,
+        "workers_per_partition": 2,
+        "inflight_per_worker": 2,
+        "duration_us": 30_000.0,
+        "warmup_us": 8_000.0,
+    },
+)
 
 
-def run(protocol: str, warehouses: int) -> "tuple[float, float, dict]":
-    config = SystemConfig.for_protocol(
-        protocol,
-        n_partitions=4,
-        workers_per_partition=2,
-        inflight_per_worker=2,
-        duration_us=30_000.0,
-        warmup_us=8_000.0,
+def run(protocol: str, warehouses: int) -> "repro.RunResult":
+    spec = repro.ScenarioSpec(
+        protocol=protocol,
+        workload_overrides={
+            "warehouses_per_partition": warehouses,
+            "items": 500,
+            "customers_per_district": 50,
+        },
+        **BASE,
     )
-    workload = TPCCWorkload(
-        TPCCConfig(warehouses_per_partition=warehouses, items=500, customers_per_district=50)
-    )
-    result = Cluster(config, workload).run()
-    return result.throughput_ktps, result.abort_rate, result.per_txn_type
+    return repro.run(spec)
 
 
 def main() -> None:
     print("TPC-C, 4 partitions, 8 warehouses/partition, full transaction mix")
     print("-" * 72)
     for protocol in ("2pl_wd", "silo", "sundial", "primo"):
-        ktps, abort_rate, mix = run(protocol, warehouses=8)
-        print(f"{protocol:8s}  {ktps:8.1f} kTPS   abort {abort_rate:6.2%}   mix {mix}")
+        result = run(protocol, warehouses=8)
+        print(
+            f"{protocol:8s}  {result.throughput_ktps:8.1f} kTPS   "
+            f"abort {result.abort_rate:6.2%}   mix {result.per_txn_type}"
+        )
 
     print()
     print("Impact of the number of warehouses (contention knob, paper Fig. 10)")
     print("-" * 72)
     for warehouses in (1, 4, 16):
-        primo, _, _ = run("primo", warehouses)
-        sundial, _, _ = run("sundial", warehouses)
+        primo = run("primo", warehouses).throughput_ktps
+        sundial = run("sundial", warehouses).throughput_ktps
         print(
             f"{warehouses:3d} warehouses/partition:  primo {primo:8.1f} kTPS   "
             f"sundial {sundial:8.1f} kTPS   ratio {primo / max(sundial, 1e-9):.2f}x"

@@ -9,15 +9,24 @@ replication substrates they run on, the YCSB and TPC-C workloads, and a
 benchmark harness that regenerates every figure of the paper's evaluation on a
 discrete-event simulator.
 
-Quickstart::
+Quickstart — the declarative scenario API is the front door::
 
-    from repro import Cluster, SystemConfig
-    from repro.workloads import YCSBWorkload
+    import repro
 
-    config = SystemConfig.for_protocol("primo")
-    result = Cluster(config, YCSBWorkload()).run()
+    spec = repro.ScenarioSpec(protocol="primo", workload="ycsb", scale="small")
+    result = repro.run(spec)
     print(f"{result.throughput_ktps:.0f} kTPS at {result.mean_latency_ms:.1f} ms")
+
+Scenarios are JSON-round-trippable and validate eagerly (typo'd names and
+override keys raise at construction with a did-you-mean suggestion);
+``repro.scenarios.sweep`` expands one spec into a grid.  New protocols,
+durability schemes, workloads and figures plug in through
+:mod:`repro.registry` without touching any core module.  The lower-level
+objects (``Cluster``, ``SystemConfig``, workload classes) remain available
+for code that wants to assemble a cluster by hand.
 """
+
+__version__ = "1.1.0"
 
 from .cluster import Cluster, RunResult, Server, SystemConfig
 from .cluster.config import DURABILITY_SCHEMES, PROTOCOLS
@@ -27,6 +36,19 @@ from .core import (
     PrimoProtocol,
     WatermarkGroupCommit,
 )
+from .registry import (
+    DURABILITY_REGISTRY,
+    FIGURE_REGISTRY,
+    PROTOCOL_REGISTRY,
+    WORKLOAD_REGISTRY,
+    register_durability,
+    register_figure,
+    register_protocol,
+    register_workload,
+)
+from .scales import SCALES, TINY_SCALE, BenchScale
+from .scenario import ScenarioSpec, build, run, sweep
+from . import scenario as scenarios
 from .workloads import (
     SmallbankConfig,
     SmallbankWorkload,
@@ -38,26 +60,44 @@ from .workloads import (
     YCSBWorkload,
 )
 
-__version__ = "1.0.0"
+#: Workload names accepted by ``ScenarioSpec.workload`` (live registry view).
+WORKLOADS = WORKLOAD_REGISTRY.names_view()
 
 __all__ = [
     "AnalysisParameters",
+    "BenchScale",
     "Cluster",
     "ConflictRateModel",
+    "DURABILITY_REGISTRY",
     "DURABILITY_SCHEMES",
+    "FIGURE_REGISTRY",
+    "PROTOCOL_REGISTRY",
     "PROTOCOLS",
     "PrimoProtocol",
     "RunResult",
+    "SCALES",
+    "ScenarioSpec",
     "Server",
     "SmallbankConfig",
     "SmallbankWorkload",
     "SystemConfig",
     "TATPConfig",
     "TATPWorkload",
+    "TINY_SCALE",
     "TPCCConfig",
     "TPCCWorkload",
+    "WORKLOAD_REGISTRY",
+    "WORKLOADS",
     "WatermarkGroupCommit",
     "YCSBConfig",
     "YCSBWorkload",
     "__version__",
+    "build",
+    "register_durability",
+    "register_figure",
+    "register_protocol",
+    "register_workload",
+    "run",
+    "scenarios",
+    "sweep",
 ]

@@ -5,6 +5,13 @@ the orchestrator — across processes with ``--jobs N`` and memoized under
 ``--cache-dir`` so an interrupted or repeated sweep only simulates what is
 missing.  ``--emit-json`` writes the per-figure data dictionaries plus sweep
 accounting as a machine-readable artifact (used by the figures-smoke CI job).
+
+The registries are the CLI's source of truth: ``--list protocols`` (or
+``workloads``/``durability``/``figures``/``scales``) prints everything
+currently registered — including extensions registered by imported user code —
+and ``--scenario file.json`` runs declarative
+:class:`~repro.scenario.ScenarioSpec` documents through the same cached
+orchestrator as the figures.
 """
 
 from __future__ import annotations
@@ -14,11 +21,122 @@ import json
 import sys
 import time
 
+from ..registry import (
+    DURABILITY_REGISTRY,
+    FIGURE_REGISTRY,
+    PROTOCOL_REGISTRY,
+    WORKLOAD_REGISTRY,
+    UnknownNameError,
+)
+from ..scales import SCALES, TINY_SCALE
+from ..scenario import ScenarioSpec
 from .experiments import FIGURES
-from .orchestrator import SUBSTRATE_VERSION, NullCache, ResultCache, run_cells
-from .runner import SCALES
+from .orchestrator import Cell, NullCache, ResultCache, SUBSTRATE_VERSION, run_cells
+from .report import print_header, print_table
 
 DEFAULT_CACHE_DIR = ".bench-cache"
+
+#: ``--list`` targets: name -> () -> [(name, description), ...].
+LISTINGS = {
+    "protocols": lambda: [
+        (e.name, _protocol_blurb(e)) for e in PROTOCOL_REGISTRY.entries()
+    ],
+    "workloads": lambda: [
+        (e.name, _workload_blurb(e)) for e in WORKLOAD_REGISTRY.entries()
+    ],
+    "durability": lambda: [
+        (e.name, e.metadata.get("description", "")) for e in DURABILITY_REGISTRY.entries()
+    ],
+    "figures": lambda: [
+        (e.name, e.metadata.get("description", "")) for e in FIGURE_REGISTRY.entries()
+    ],
+    "scales": lambda: [
+        (s.name, f"{s.duration_us / 1000.0:g} ms simulated, "
+                 f"{s.sweep_points} sweep points")
+        for s in [*SCALES.values(), TINY_SCALE]
+    ],
+}
+
+
+def _protocol_blurb(entry) -> str:
+    description = entry.metadata.get("description", "")
+    pairing = entry.metadata.get("default_durability", "coco")
+    suffix = f"[durability: {pairing}]"
+    return f"{description} {suffix}" if description else suffix
+
+
+def _workload_blurb(entry) -> str:
+    description = entry.metadata.get("description", "")
+    config = entry.metadata.get("config_cls")
+    suffix = f"[config: {config.__name__}]" if config else ""
+    return " ".join(part for part in (description, suffix) if part)
+
+
+def _print_listing(target: str) -> None:
+    rows = LISTINGS[target]()
+    width = max((len(name) for name, _ in rows), default=0)
+    for name, description in rows:
+        line = f"{name:<{width}}  {description}".rstrip()
+        print(line)
+
+
+def _load_scenarios(path: str, parser: argparse.ArgumentParser) -> list[ScenarioSpec]:
+    """Parse a scenario file: one spec object or a JSON array of them."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, ValueError) as exc:
+        parser.error(f"--scenario {path}: {exc}")
+    documents = data if isinstance(data, list) else [data]
+    specs = []
+    for i, document in enumerate(documents):
+        try:
+            specs.append(ScenarioSpec.from_json_dict(document))
+        except (TypeError, ValueError) as exc:
+            parser.error(f"--scenario {path} entry {i}: {exc}")
+    return specs
+
+
+def _run_scenarios(specs: list[ScenarioSpec], args, cache, progress) -> int:
+    cells = [
+        Cell(figure="scenario", key=f"#{i}", spec=spec)
+        for i, spec in enumerate(specs)
+    ]
+    outcome = run_cells(cells, jobs=args.jobs, cache=cache, progress=progress)
+    rows = []
+    for cell in cells:
+        result = outcome.results[cell]
+        rows.append(
+            (
+                cell.key,
+                result.protocol,
+                result.durability,
+                result.workload,
+                result.throughput_ktps,
+                f"{result.abort_rate:.1%}",
+                result.mean_latency_ms,
+            )
+        )
+    print_header(f"{len(cells)} scenario(s) from {args.scenario}")
+    print_table(
+        ["scenario", "protocol", "durability", "workload", "kTPS", "abort", "avg ms"],
+        rows,
+    )
+    if args.emit_json:
+        artifact = {
+            "meta": {"substrate_version": SUBSTRATE_VERSION, "jobs": args.jobs},
+            "scenarios": [
+                {
+                    "spec": cell.spec.to_json_dict(),
+                    "result": outcome.results[cell].summary(),
+                }
+                for cell in cells
+            ],
+        }
+        with open(args.emit_json, "w", encoding="utf-8") as fh:
+            json.dump(artifact, fh, indent=2, sort_keys=True)
+        print(f"[bench] wrote {args.emit_json}", file=sys.stderr)
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -31,14 +149,26 @@ def main(argv: list[str] | None = None) -> int:
         "--only",
         dest="figure",
         action="append",
-        choices=sorted(FIGURES),
-        help="figure to run (repeatable); default: all figures",
+        metavar="FIG",
+        help="figure to run (repeatable; see --list figures); default: all figures",
+    )
+    parser.add_argument(
+        "--list",
+        dest="list_target",
+        choices=sorted(LISTINGS),
+        help="print the registered names of the chosen kind and exit",
+    )
+    parser.add_argument(
+        "--scenario",
+        metavar="FILE",
+        help="run ScenarioSpec JSON (an object or an array) instead of figures",
     )
     parser.add_argument(
         "--scale",
-        default="small",
+        default=None,
         choices=sorted(SCALES),
-        help="run size: small (seconds per point), medium, or paper",
+        help="run size: small (seconds per point), medium, or paper "
+             "(default: small; scenario files carry their own scale)",
     )
     parser.add_argument(
         "--jobs",
@@ -72,17 +202,42 @@ def main(argv: list[str] | None = None) -> int:
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
 
-    scale = SCALES[args.scale]
-    figure_names = args.figure or sorted(FIGURES)
-
-    plans = {name: FIGURES[name].plan(scale) for name in figure_names}
-    all_cells = [cell for name in figure_names for cell in plans[name]]
+    if args.list_target:
+        _print_listing(args.list_target)
+        return 0
 
     cache = NullCache() if args.no_cache else ResultCache(args.cache_dir)
     progress = None
     if not args.quiet_progress:
         def progress(message: str) -> None:
             print(f"[bench] {message}", file=sys.stderr)
+
+    if args.scenario:
+        # A scenario file carries its own scale per spec; a figure selection
+        # is meaningless for it.  Reject the combination instead of silently
+        # running something other than what was asked for.
+        if args.figure:
+            parser.error("--scenario and --figure/--only are mutually exclusive")
+        if args.scale is not None:
+            parser.error(
+                "--scale does not apply to --scenario (set \"scale\" inside "
+                "the scenario file)"
+            )
+        return _run_scenarios(_load_scenarios(args.scenario, parser), args, cache, progress)
+
+    # Validate figure names through the registry so a typo gets the same
+    # did-you-mean treatment as a typo'd protocol in a ScenarioSpec.
+    figure_names = args.figure or sorted(FIGURES)
+    for name in figure_names:
+        try:
+            FIGURE_REGISTRY.check(name)
+        except UnknownNameError as exc:
+            parser.error(str(exc))
+
+    scale_name = args.scale or "small"
+    scale = SCALES[scale_name]
+    plans = {name: FIGURES[name].plan(scale) for name in figure_names}
+    all_cells = [cell for name in figure_names for cell in plans[name]]
 
     start = time.perf_counter()
     outcome = run_cells(all_cells, jobs=args.jobs, cache=cache, progress=progress)
@@ -103,7 +258,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.emit_json:
         artifact = {
             "meta": {
-                "scale": args.scale,
+                "scale": scale_name,
                 "jobs": args.jobs,
                 "figures": figure_names,
                 "substrate_version": SUBSTRATE_VERSION,

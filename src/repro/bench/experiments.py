@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from ..core.analysis import AnalysisParameters, ConflictRateModel
+from ..registry import FIGURE_REGISTRY
 from ..sim.stats import BREAKDOWN_COMPONENTS
 from .orchestrator import Cell, make_cell, run_cells
 from .report import print_header, print_table
@@ -752,22 +753,32 @@ class FigureSpec:
     render: Callable
 
 
-#: name -> FigureSpec, used by ``python -m repro.bench`` and the figures gate.
-FIGURES: dict[str, FigureSpec] = {
-    "fig04": FigureSpec("fig04", fig04_plan, fig04_render),
-    "fig05": FigureSpec("fig05", fig05_plan, fig05_render),
-    "fig06": FigureSpec("fig06", fig06_plan, fig06_render),
-    "fig07": FigureSpec("fig07", fig07_plan, fig07_render),
-    "fig08": FigureSpec("fig08", fig08_plan, fig08_render),
-    "fig09": FigureSpec("fig09", fig09_plan, fig09_render),
-    "fig10": FigureSpec("fig10", fig10_plan, fig10_render),
-    "fig11": FigureSpec("fig11", fig11_plan, fig11_render),
-    "fig12": FigureSpec("fig12", fig12_plan, fig12_render),
-    "fig13": FigureSpec("fig13", fig13_plan, fig13_render),
-    "fig14": FigureSpec("fig14", fig14_plan, fig14_render),
-    "fig15": FigureSpec("fig15", fig15_plan, fig15_render),
-    "appendix": FigureSpec("appendix", appendix_plan, appendix_render),
-}
+def _register_figure(name: str, plan: Callable, render: Callable,
+                     description: str = "") -> None:
+    FIGURE_REGISTRY.register(
+        name, FigureSpec(name, plan, render), description=description
+    )
+
+
+_register_figure("fig04", fig04_plan, fig04_render, "overall performance on YCSB")
+_register_figure("fig05", fig05_plan, fig05_render, "overall performance on TPC-C")
+_register_figure("fig06", fig06_plan, fig06_render, "impact of contention (Zipf skew)")
+_register_figure("fig07", fig07_plan, fig07_render, "% distributed transactions")
+_register_figure("fig08", fig08_plan, fig08_render, "read-write ratio")
+_register_figure("fig09", fig09_plan, fig09_render, "blind-write ratio")
+_register_figure("fig10", fig10_plan, fig10_render, "TPC-C warehouses")
+_register_figure("fig11", fig11_plan, fig11_render, "logging / group-commit schemes")
+_register_figure("fig12", fig12_plan, fig12_render, "watermark interval / epoch size")
+_register_figure("fig13", fig13_plan, fig13_render, "lagging watermarks, slow partition")
+_register_figure("fig14", fig14_plan, fig14_render, "scalability with partitions")
+_register_figure("fig15", fig15_plan, fig15_render, "comparison with TAPIR")
+_register_figure("appendix", appendix_plan, appendix_render,
+                 "analytical conflict-rate model")
+
+#: name -> FigureSpec — a live view of the figure registry, used by
+#: ``python -m repro.bench`` and the figures gate.  Figures registered by
+#: external code (``repro.registry.register_figure``) appear here too.
+FIGURES = FIGURE_REGISTRY.as_mapping()
 
 #: name -> one-shot callable (plan + inline execute + render), kept for the
 #: pytest-benchmark suite and any callers that predate the orchestrator.

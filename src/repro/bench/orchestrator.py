@@ -36,7 +36,6 @@ entry; unreadable or mismatched entries are treated as misses.
 
 from __future__ import annotations
 
-import dataclasses
 import hashlib
 import json
 import os
@@ -48,7 +47,9 @@ from typing import Callable, Iterable, Optional, Sequence
 
 from .. import __version__ as _REPRO_VERSION
 from ..cluster.results import RunResult
-from .runner import BenchScale, build_cluster
+from ..scales import BenchScale
+from ..scenario import ScenarioSpec
+from ..scenario import run as _run_scenario
 
 __all__ = [
     "Cell",
@@ -69,80 +70,49 @@ __all__ = [
 #: coexist on CI.
 SUBSTRATE_VERSION = _REPRO_VERSION
 
-#: Version of the on-disk cache file format itself.
-CACHE_SCHEMA_VERSION = 1
-
-
-def _freeze_overrides(overrides: Optional[dict]) -> tuple:
-    """Normalize an override dict into a sorted, hashable tuple of pairs."""
-    if not overrides:
-        return ()
-    frozen = []
-    for name in sorted(overrides):
-        value = overrides[name]
-        if isinstance(value, (list, tuple)):
-            value = tuple(value)
-        frozen.append((name, value))
-    return tuple(frozen)
+#: Version of the on-disk cache file format itself.  v2: cells carry a
+#: ScenarioSpec and cache keys hash its canonical JSON (durability became a
+#: first-class spec field, scales grew extension-workload sizing).
+CACHE_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
 class Cell:
     """One independent simulation point of a figure sweep.
 
-    ``figure`` and ``key`` identify the cell to its renderer; everything else
-    describes the physics of the run and is what the cache key hashes.  Two
-    cells that differ only in ``figure``/``key`` share one simulation.
+    A thin presentation wrapper: ``figure`` and ``key`` identify the cell to
+    its renderer, while ``spec`` — a validated
+    :class:`~repro.scenario.ScenarioSpec` — is the physics of the run and the
+    sole input to its cache key.  Two cells that differ only in
+    ``figure``/``key`` share one simulation.
     """
 
     figure: str
     key: str
-    protocol: str
-    scale: BenchScale
-    workload: str = "ycsb"
-    workload_overrides: tuple = ()
-    config_overrides: tuple = ()
-    #: (partition_id, delay_us) applied via ``durability.set_message_delay``
-    #: after the cluster is built (Fig. 13a's lagging control messages).
-    durability_message_delay: Optional[tuple] = None
-    #: (partition_id, extra_delay_us) applied via ``network.set_extra_delay_to``
-    #: (Fig. 13b's slow partition).
-    network_extra_delay_to: Optional[tuple] = None
+    spec: ScenarioSpec
 
     @property
     def cell_id(self) -> str:
         return f"{self.figure}/{self.key}"
 
-    def spec(self) -> dict:
-        """The physics of the cell — everything that determines its result.
+    # Convenience accessors kept from the pre-spec Cell shape.
+    @property
+    def protocol(self) -> str:
+        return self.spec.protocol
 
-        Excludes ``figure`` and ``key`` (presentation identity), so identical
-        configurations planned by different figures share a cache entry.
-        """
-        return {
-            "protocol": self.protocol,
-            "workload": self.workload,
-            "scale": dataclasses.asdict(self.scale),
-            "workload_overrides": [list(pair) for pair in self.workload_overrides],
-            "config_overrides": [list(pair) for pair in self.config_overrides],
-            "durability_message_delay": (
-                list(self.durability_message_delay)
-                if self.durability_message_delay
-                else None
-            ),
-            "network_extra_delay_to": (
-                list(self.network_extra_delay_to)
-                if self.network_extra_delay_to
-                else None
-            ),
-        }
+    @property
+    def workload(self) -> str:
+        return self.spec.workload
+
+    @property
+    def scale(self) -> BenchScale:
+        return self.spec.scale
 
     def cache_key(self) -> str:
-        """Stable content hash of the spec plus the substrate version."""
-        payload = json.dumps(
-            {"substrate": SUBSTRATE_VERSION, "spec": self.spec()},
-            sort_keys=True,
-            separators=(",", ":"),
+        """Stable content hash of the spec's canonical JSON + substrate version."""
+        payload = (
+            '{"spec":' + self.spec.canonical_json()
+            + ',"substrate":' + json.dumps(SUBSTRATE_VERSION) + "}"
         )
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
 
@@ -158,40 +128,29 @@ def make_cell(
     network_extra_delay_to: Optional[tuple] = None,
     **config_overrides,
 ) -> Cell:
-    """Convenience constructor mirroring :func:`repro.bench.runner.run_config`."""
+    """Convenience constructor mirroring :func:`repro.bench.runner.run_config`.
+
+    Spec validation runs here — a typo'd protocol, workload, or override key
+    fails while the figure is being *planned*, before anything simulates.
+    """
     return Cell(
         figure=figure,
         key=key,
-        protocol=protocol,
-        scale=scale,
-        workload=workload,
-        workload_overrides=_freeze_overrides(workload_overrides),
-        config_overrides=_freeze_overrides(config_overrides),
-        durability_message_delay=(
-            tuple(durability_message_delay) if durability_message_delay else None
-        ),
-        network_extra_delay_to=(
-            tuple(network_extra_delay_to) if network_extra_delay_to else None
+        spec=ScenarioSpec(
+            protocol=protocol,
+            workload=workload,
+            scale=scale,
+            workload_overrides=workload_overrides or {},
+            config_overrides=config_overrides,
+            durability_message_delay=durability_message_delay,
+            network_extra_delay_to=network_extra_delay_to,
         ),
     )
 
 
 def execute_cell(cell: Cell) -> RunResult:
     """Run one cell's simulation to completion (in the current process)."""
-    cluster = build_cluster(
-        cell.protocol,
-        cell.scale,
-        cell.workload,
-        workload_overrides=dict(cell.workload_overrides),
-        **dict(cell.config_overrides),
-    )
-    if cell.durability_message_delay is not None:
-        partition, delay_us = cell.durability_message_delay
-        cluster.durability.set_message_delay(partition, delay_us)
-    if cell.network_extra_delay_to is not None:
-        partition, delay_us = cell.network_extra_delay_to
-        cluster.network.set_extra_delay_to(partition, delay_us)
-    return cluster.run()
+    return _run_scenario(cell.spec)
 
 
 def _pool_execute(cell: Cell) -> dict:
@@ -238,7 +197,7 @@ class ResultCache:
         entry = {
             "schema": CACHE_SCHEMA_VERSION,
             "substrate_version": SUBSTRATE_VERSION,
-            "spec": cell.spec(),
+            "spec": cell.spec.to_json_dict(),
             "result": result_json,
         }
         fd, tmp_path = tempfile.mkstemp(

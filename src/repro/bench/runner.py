@@ -1,13 +1,12 @@
 """Shared helpers for the benchmark harness.
 
-Every figure-level experiment is built from :func:`run_config`, which builds a
-cluster for one (protocol, durability, workload, knobs) point and runs it for
-the scale's simulated duration.  Two scales are provided:
-
-* ``small`` — seconds of wall-clock per point; used by the pytest-benchmark
-  suite so the whole harness regenerates every figure in minutes;
-* ``paper`` — longer simulated runs and full sweep ranges, closer to the
-  paper's operating points (minutes of wall-clock per figure).
+Every figure-level experiment is built from :func:`run_config`, which runs a
+single (protocol, durability, workload, knobs) point for the scale's simulated
+duration.  Since the scenario-API refactor this module is a thin compatibility
+layer: scales live in :mod:`repro.scales`, and building/running goes through
+:mod:`repro.scenario` (``run_config(...)`` is exactly
+``repro.run(ScenarioSpec(...))``), so the classic helpers and the new facade
+cannot diverge.
 
 Absolute throughput numbers are simulator-specific; the quantities to compare
 against the paper are the *ratios* between protocols and the *shapes* of the
@@ -16,16 +15,14 @@ sweeps, which is what the report printers show.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional
 
 from ..cluster.cluster import Cluster
-from ..cluster.config import SystemConfig
 from ..cluster.results import RunResult
-from ..workloads.smallbank import SmallbankConfig, SmallbankWorkload
-from ..workloads.tatp import TATPConfig, TATPWorkload
-from ..workloads.tpcc import TPCCConfig, TPCCWorkload
-from ..workloads.ycsb import YCSBConfig, YCSBWorkload
+from ..scales import SCALES, TINY_SCALE, BenchScale, sweep_values
+from ..scenario import ScenarioSpec, build_workload
+from ..scenario import build as _build_scenario
+from ..scenario import run as _run_scenario
 
 __all__ = [
     "BenchScale",
@@ -34,101 +31,24 @@ __all__ = [
     "build_cluster",
     "run_config",
     "build_workload",
+    "sweep_values",
 ]
 
 
-@dataclass(frozen=True)
-class BenchScale:
-    """Run-size preset used by the experiment functions."""
-
-    name: str
-    duration_us: float
-    warmup_us: float
-    workers_per_partition: int
-    inflight_per_worker: int
-    ycsb_keys_per_partition: int
-    tpcc_warehouses_per_partition: int
-    tpcc_items: int
-    tpcc_customers_per_district: int
-    sweep_points: int  # how many points of each sweep to keep
-
-
-SCALES: dict[str, BenchScale] = {
-    "small": BenchScale(
-        name="small",
-        duration_us=20_000.0,
-        warmup_us=5_000.0,
-        workers_per_partition=2,
-        inflight_per_worker=2,
-        ycsb_keys_per_partition=10_000,
-        tpcc_warehouses_per_partition=4,
-        tpcc_items=200,
-        tpcc_customers_per_district=30,
-        sweep_points=3,
-    ),
-    "medium": BenchScale(
-        name="medium",
-        duration_us=40_000.0,
-        warmup_us=10_000.0,
-        workers_per_partition=3,
-        inflight_per_worker=2,
-        ycsb_keys_per_partition=20_000,
-        tpcc_warehouses_per_partition=8,
-        tpcc_items=500,
-        tpcc_customers_per_district=60,
-        sweep_points=4,
-    ),
-    "paper": BenchScale(
-        name="paper",
-        duration_us=100_000.0,
-        warmup_us=20_000.0,
-        workers_per_partition=4,
-        inflight_per_worker=3,
-        ycsb_keys_per_partition=100_000,
-        tpcc_warehouses_per_partition=16,
-        tpcc_items=2_000,
-        tpcc_customers_per_district=200,
-        sweep_points=6,
-    ),
-}
-
-
-#: Tiny preset for tests and gates: each cell simulates in a fraction of a
-#: second.  Deliberately not in :data:`SCALES` so the CLI only offers the
-#: figure-quality presets.
-TINY_SCALE = BenchScale(
-    name="tiny",
-    duration_us=6_000.0,
-    warmup_us=2_000.0,
-    workers_per_partition=1,
-    inflight_per_worker=2,
-    ycsb_keys_per_partition=2_000,
-    tpcc_warehouses_per_partition=2,
-    tpcc_items=50,
-    tpcc_customers_per_district=10,
-    sweep_points=2,
-)
-
-
-def build_workload(scale: BenchScale, workload: str = "ycsb", **overrides):
-    """Construct a workload object with the scale's size defaults applied."""
-    if workload == "ycsb":
-        params = {"keys_per_partition": scale.ycsb_keys_per_partition}
-        params.update(overrides)
-        return YCSBWorkload(YCSBConfig(**params))
-    if workload == "tpcc":
-        params = {
-            "warehouses_per_partition": scale.tpcc_warehouses_per_partition,
-            "items": scale.tpcc_items,
-            "customers_per_district": scale.tpcc_customers_per_district,
-        }
-        params.update(overrides)
-        return TPCCWorkload(TPCCConfig(**params))
-    if workload == "tatp":
-        return TATPWorkload(TATPConfig(**overrides))
-    if workload == "smallbank":
-        return SmallbankWorkload(SmallbankConfig(**overrides))
-    raise ValueError(f"unknown workload {workload!r}")
+def _spec(
+    protocol: str,
+    scale: BenchScale,
+    workload: str,
+    workload_overrides: Optional[dict],
+    config_overrides: dict,
+) -> ScenarioSpec:
+    return ScenarioSpec(
+        protocol=protocol,
+        workload=workload,
+        scale=scale,
+        workload_overrides=workload_overrides or {},
+        config_overrides=config_overrides,
+    )
 
 
 def build_cluster(
@@ -138,25 +58,10 @@ def build_cluster(
     workload_overrides: Optional[dict] = None,
     **config_overrides,
 ) -> Cluster:
-    """Build (but do not run) the cluster for one configuration point.
-
-    Shared by :func:`run_config` and the orchestrator's cell executor so the
-    two paths cannot diverge in how they apply scale defaults and overrides.
-    """
-    config = SystemConfig.for_protocol(
-        protocol,
-        duration_us=config_overrides.pop("duration_us", scale.duration_us),
-        warmup_us=config_overrides.pop("warmup_us", scale.warmup_us),
-        workers_per_partition=config_overrides.pop(
-            "workers_per_partition", scale.workers_per_partition
-        ),
-        inflight_per_worker=config_overrides.pop(
-            "inflight_per_worker", scale.inflight_per_worker
-        ),
-        **config_overrides,
+    """Build (but do not run) the cluster for one configuration point."""
+    return _build_scenario(
+        _spec(protocol, scale, workload, workload_overrides, config_overrides)
     )
-    workload_obj = build_workload(scale, workload, **(workload_overrides or {}))
-    return Cluster(config, workload_obj)
 
 
 def run_config(
@@ -167,18 +72,6 @@ def run_config(
     **config_overrides,
 ) -> RunResult:
     """Run one configuration point and return its results."""
-    cluster = build_cluster(
-        protocol, scale, workload, workload_overrides, **config_overrides
+    return _run_scenario(
+        _spec(protocol, scale, workload, workload_overrides, config_overrides)
     )
-    return cluster.run()
-
-
-def sweep_values(values: list, scale: BenchScale) -> list:
-    """Thin a sweep down to the scale's number of points (keeping endpoints)."""
-    if len(values) <= scale.sweep_points:
-        return list(values)
-    if scale.sweep_points == 1:
-        return [values[-1]]
-    step = (len(values) - 1) / (scale.sweep_points - 1)
-    indices = sorted({round(i * step) for i in range(scale.sweep_points)})
-    return [values[i] for i in indices]

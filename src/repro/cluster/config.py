@@ -11,27 +11,16 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Optional
 
+from ..registry import DURABILITY_REGISTRY, PROTOCOL_REGISTRY
+
 __all__ = ["SystemConfig", "PROTOCOLS", "DURABILITY_SCHEMES"]
 
-# Names accepted by ``SystemConfig.protocol``.
-PROTOCOLS = (
-    "primo",        # WCF + TicToc + watermark group commit (this paper)
-    "2pl_nw",       # 2PL NO_WAIT + 2PC (Spanner-like)
-    "2pl_wd",       # 2PL WAIT_DIE + 2PC
-    "silo",         # OCC (Silo) + 2PC, distributed variant from COCO
-    "sundial",      # TicToc-based (Sundial) + 2PC
-    "aria",         # deterministic batch execution
-    "tapir",        # co-designed commit + inconsistent replication
-)
+#: Names accepted by ``SystemConfig.protocol`` — a live view of the protocol
+#: registry, so externally registered protocols are accepted automatically.
+PROTOCOLS = PROTOCOL_REGISTRY.names_view()
 
-# Names accepted by ``SystemConfig.durability``.
-DURABILITY_SCHEMES = (
-    "wm",     # Primo's watermark-based asynchronous group commit
-    "coco",   # COCO epoch-based synchronous group commit
-    "clv",    # controlled lock violation (fine-grained early lock release)
-    "sync",   # synchronous per-transaction logging (no group commit)
-    "none",   # no durability tracking (unit tests / micro-benches only)
-)
+#: Names accepted by ``SystemConfig.durability`` — same, for group-commit schemes.
+DURABILITY_SCHEMES = DURABILITY_REGISTRY.names_view()
 
 
 @dataclass
@@ -95,12 +84,11 @@ class SystemConfig:
         self.validate()
 
     def validate(self) -> None:
-        if self.protocol not in PROTOCOLS:
-            raise ValueError(f"unknown protocol {self.protocol!r}; choose from {PROTOCOLS}")
-        if self.durability not in DURABILITY_SCHEMES:
-            raise ValueError(
-                f"unknown durability scheme {self.durability!r}; choose from {DURABILITY_SCHEMES}"
-            )
+        # Registry-backed: raises UnknownNameError (a ValueError) listing the
+        # registered names with a did-you-mean suggestion — the same error the
+        # scenario layer and protocol/scheme factories raise.
+        PROTOCOL_REGISTRY.check(self.protocol)
+        DURABILITY_REGISTRY.check(self.durability)
         if self.n_partitions < 1:
             raise ValueError("n_partitions must be >= 1")
         if self.workers_per_partition < 1 or self.inflight_per_worker < 1:
@@ -137,16 +125,12 @@ class SystemConfig:
 
         Primo uses the watermark scheme; 2PL/Silo/Sundial baselines are paired
         with COCO group commit (§6.1.3); Aria's sequencing layer and TAPIR's
-        replication handle their own durability.
+        replication handle their own durability.  The pairing is read from the
+        protocol registry (``default_durability`` registration metadata), so
+        registered extensions get the same treatment.
         """
-        defaults = {
-            "primo": "wm",
-            "2pl_nw": "coco",
-            "2pl_wd": "coco",
-            "silo": "coco",
-            "sundial": "coco",
-            "aria": "none",
-            "tapir": "sync",
-        }
-        durability = overrides.pop("durability", defaults.get(protocol, "coco"))
+        durability = overrides.pop("durability", None)
+        if durability is None:
+            entry = PROTOCOL_REGISTRY.entry(protocol)
+            durability = entry.metadata.get("default_durability", "coco")
         return cls(protocol=protocol, durability=durability, **overrides)

@@ -1,5 +1,6 @@
 """Durability: write-ahead logging and the group-commit schemes of §6.4."""
 
+from ..registry import DURABILITY_REGISTRY, register_durability
 from .base import CRASH_ABORTED, DURABLE, DurabilityScheme
 from .clv import ControlledLockViolation
 from .coco import CocoGroupCommit
@@ -16,21 +17,17 @@ __all__ = [
     "LogRecord",
     "LogRecordKind",
     "SyncDurability",
+    "create_durability_scheme",
 ]
+
+# The no-op base class doubles as the "no durability tracking" scheme for unit
+# tests and micro-benches; the name is registered here because it is a policy
+# choice, not a property of the class itself.
+register_durability("none", description="no durability tracking (tests / micro-benches)")(
+    DurabilityScheme
+)
 
 
 def create_durability_scheme(name: str, cluster) -> DurabilityScheme:
     """Factory used by the cluster to instantiate the configured scheme."""
-    from ..core.watermark import WatermarkGroupCommit
-
-    schemes = {
-        "none": DurabilityScheme,
-        "sync": SyncDurability,
-        "coco": CocoGroupCommit,
-        "clv": ControlledLockViolation,
-        "wm": WatermarkGroupCommit,
-    }
-    try:
-        return schemes[name](cluster)
-    except KeyError as exc:
-        raise ValueError(f"unknown durability scheme {name!r}") from exc
+    return DURABILITY_REGISTRY.get(name)(cluster)

@@ -23,6 +23,7 @@ how CLV implementations batch dependency releases in practice.
 
 from __future__ import annotations
 
+from ..registry import register_durability
 from ..sim.engine import Event
 from .base import CRASH_ABORTED, DURABLE, DurabilityScheme
 
@@ -39,6 +40,7 @@ class _PendingTxn:
         self.needed = needed
 
 
+@register_durability("clv", description="controlled lock violation (early lock release)")
 class ControlledLockViolation(DurabilityScheme):
     name = "clv"
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..registry import register_durability
 from ..sim.engine import Event, all_of
 from ..sim.network import NodeUnreachable
 from .base import CRASH_ABORTED, DURABLE, DurabilityScheme
@@ -59,6 +60,7 @@ class _PartitionEpochState:
         self.open_event = None
 
 
+@register_durability("coco", description="COCO epoch-based synchronous group commit")
 class CocoGroupCommit(DurabilityScheme):
     name = "coco"
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from ..registry import register_durability
 from ..sim.engine import Event, all_of
 from .base import CRASH_ABORTED, DURABLE, DurabilityScheme
 
@@ -21,6 +22,7 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["SyncDurability"]
 
 
+@register_durability("sync", description="synchronous per-transaction logging (no group commit)")
 class SyncDurability(DurabilityScheme):
     name = "sync"
 

@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING, Callable, Generator
 
 from ..commit.logging import LogRecordKind
 from ..protocols.base import BaseProtocol, install_write_entries
+from ..registry import register_protocol
 from ..storage.lock import LockMode, LockPolicy
 from ..txn.context import TxnContext
 from ..txn.transaction import (
@@ -170,6 +171,8 @@ class PrimoContext(TxnContext):
         self.txn.add_write(entry)
 
 
+@register_protocol("primo", default_durability="wm",
+                   description="WCF + TicToc + watermark group commit (this paper)")
 class PrimoProtocol(BaseProtocol):
     """WCF + TicToc concurrency control (the commit path of Algorithm 1)."""
 

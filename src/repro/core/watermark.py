@@ -32,6 +32,7 @@ from typing import TYPE_CHECKING
 
 from ..commit.base import CRASH_ABORTED, DURABLE, DurabilityScheme
 from ..commit.logging import LogRecordKind
+from ..registry import register_durability
 from ..sim.engine import Event
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -54,6 +55,7 @@ class _PartitionWatermarkState:
         self.pending: list = []
 
 
+@register_durability("wm", description="Primo's watermark-based asynchronous group commit")
 class WatermarkGroupCommit(DurabilityScheme):
     name = "wm"
 

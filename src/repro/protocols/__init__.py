@@ -24,18 +24,6 @@ __all__ = [
 
 def create_protocol(name: str, cluster) -> BaseProtocol:
     """Factory used by the cluster to instantiate the configured protocol."""
-    from ..core.primo import PrimoProtocol
+    from ..registry import PROTOCOL_REGISTRY
 
-    protocols = {
-        "primo": PrimoProtocol,
-        "2pl_nw": TwoPLNoWaitProtocol,
-        "2pl_wd": TwoPLWaitDieProtocol,
-        "silo": SiloProtocol,
-        "sundial": SundialProtocol,
-        "aria": AriaProtocol,
-        "tapir": TapirProtocol,
-    }
-    try:
-        return protocols[name](cluster)
-    except KeyError as exc:
-        raise ValueError(f"unknown protocol {name!r}") from exc
+    return PROTOCOL_REGISTRY.get(name)(cluster)

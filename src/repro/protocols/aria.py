@@ -36,6 +36,7 @@ from ..txn.transaction import (
     UserAbort,
     WriteEntry,
 )
+from ..registry import register_protocol
 from .base import BaseProtocol, install_write_entries
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -81,6 +82,8 @@ class AriaContext(TxnContext):
         self.protocol.reserve_write(entry.partition, entry.table, entry.key, self.txn.tid)
 
 
+@register_protocol("aria", default_durability="none",
+                   description="deterministic batch execution")
 class AriaProtocol(BaseProtocol):
     name = "aria"
     lock_policy = LockPolicy.NO_WAIT

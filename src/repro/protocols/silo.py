@@ -22,6 +22,7 @@ from ..txn.transaction import (
     UserAbort,
     WriteEntry,
 )
+from ..registry import register_protocol
 from .base import BaseProtocol, install_write_entries
 from .two_pc import TwoPhaseCommitMixin
 
@@ -72,6 +73,8 @@ class SiloContext(TxnContext):
         self.txn.add_write(entry)
 
 
+@register_protocol("silo", default_durability="coco",
+                   description="OCC (Silo) + 2PC, distributed variant from COCO")
 class SiloProtocol(TwoPhaseCommitMixin, BaseProtocol):
     name = "silo"
     lock_policy = LockPolicy.NO_WAIT

@@ -26,6 +26,7 @@ from ..txn.transaction import (
     UserAbort,
     WriteEntry,
 )
+from ..registry import register_protocol
 from .base import BaseProtocol, install_write_entries
 from .two_pc import TwoPhaseCommitMixin
 
@@ -78,6 +79,8 @@ class SundialContext(TxnContext):
         self.txn.add_write(entry)
 
 
+@register_protocol("sundial", default_durability="coco",
+                   description="TicToc-based (Sundial) + 2PC")
 class SundialProtocol(TwoPhaseCommitMixin, BaseProtocol):
     name = "sundial"
     lock_policy = LockPolicy.WAIT_DIE

@@ -31,6 +31,7 @@ from ..txn.transaction import (
     UserAbort,
     WriteEntry,
 )
+from ..registry import register_protocol
 from .base import BaseProtocol, install_write_entries
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -80,6 +81,8 @@ class TapirContext(TxnContext):
         self.txn.add_write(entry)
 
 
+@register_protocol("tapir", default_durability="sync",
+                   description="co-designed commit + inconsistent replication")
 class TapirProtocol(BaseProtocol):
     name = "tapir"
     lock_policy = LockPolicy.NO_WAIT

@@ -26,6 +26,7 @@ from ..txn.transaction import (
     UserAbort,
     WriteEntry,
 )
+from ..registry import register_protocol
 from .base import BaseProtocol, install_write_entries
 from .two_pc import TwoPhaseCommitMixin
 
@@ -81,6 +82,8 @@ class TwoPLContext(TxnContext):
         self.txn.add_write(entry)
 
 
+@register_protocol("2pl_nw", default_durability="coco",
+                   description="2PL NO_WAIT + 2PC (Spanner-like)")
 class TwoPLNoWaitProtocol(TwoPhaseCommitMixin, BaseProtocol):
     """2PL with NO_WAIT deadlock prevention + 2PC."""
 
@@ -195,6 +198,8 @@ class TwoPLNoWaitProtocol(TwoPhaseCommitMixin, BaseProtocol):
             )
 
 
+@register_protocol("2pl_wd", default_durability="coco",
+                   description="2PL WAIT_DIE + 2PC")
 class TwoPLWaitDieProtocol(TwoPLNoWaitProtocol):
     """2PL with WAIT_DIE deadlock prevention + 2PC."""
 

@@ -1,0 +1,320 @@
+"""First-class registries: the extension points of the package.
+
+Every pluggable axis of the evaluation grid — concurrency-control
+*protocols*, *durability* (group-commit) schemes, *workloads*, and the
+benchmark *figures* built from them — is registered here under a short
+string name.  Built-in implementations register themselves with the
+decorators below; external code can do exactly the same from any module,
+and the new name immediately shows up everywhere names are consumed:
+``SystemConfig`` validation, :class:`repro.scenario.ScenarioSpec`,
+``python -m repro.bench --list``, and the orchestrator's figure sweeps.
+
+Example — a new protocol in one file, no core edits::
+
+    from repro.registry import register_protocol
+    from repro.protocols import SiloProtocol
+
+    @register_protocol("silo_patched", default_durability="coco")
+    class PatchedSilo(SiloProtocol):
+        ...
+
+Lookups are strict: an unknown name raises :class:`UnknownNameError`
+(a ``ValueError``) listing the registered choices plus a did-you-mean
+suggestion, so a typo'd name fails loudly at *plan* time instead of
+mid-sweep inside a worker process.
+
+Built-in implementations live in modules that are only imported on first
+use (``ensure_modules``), which keeps this module import-cycle-free:
+it depends on nothing but the standard library.
+
+Registrations are per-process.  The orchestrator's process pool
+(``run_cells(jobs=N)``) re-imports ``repro`` in each worker, which registers
+the built-ins but not your module — on fork-based platforms (Linux default)
+workers inherit the parent's registrations, but under the ``spawn``/
+``forkserver`` start methods an externally registered name would miss inside
+a worker.  Run externally registered scenarios with ``jobs=1``, or make sure
+the registering module is imported by the workers (e.g. register inside an
+installed package that ``repro`` extensions import).
+"""
+
+from __future__ import annotations
+
+import difflib
+import importlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Mapping, Optional, Sequence
+
+__all__ = [
+    "DURABILITY_REGISTRY",
+    "FIGURE_REGISTRY",
+    "PROTOCOL_REGISTRY",
+    "WORKLOAD_REGISTRY",
+    "DuplicateNameError",
+    "Registry",
+    "RegistryEntry",
+    "RegistryMapping",
+    "RegistryNames",
+    "UnknownNameError",
+    "register_durability",
+    "register_figure",
+    "register_protocol",
+    "register_workload",
+    "suggestion_hint",
+]
+
+
+class UnknownNameError(ValueError):
+    """An unregistered name was looked up (carries a did-you-mean hint)."""
+
+
+class DuplicateNameError(ValueError):
+    """A name was registered twice without ``replace=True``."""
+
+
+def suggestion_hint(name: str, choices: Sequence[str]) -> str:
+    """``" (did you mean 'x'?)"`` when ``name`` is close to a choice, else ``""``."""
+    matches = difflib.get_close_matches(name, list(choices), n=2, cutoff=0.5)
+    if not matches:
+        return ""
+    if len(matches) == 1:
+        return f" (did you mean {matches[0]!r}?)"
+    return f" (did you mean {matches[0]!r} or {matches[1]!r}?)"
+
+
+def unknown_name_error(kind: str, name: Any, choices: Sequence[str]) -> UnknownNameError:
+    """The single error used for every unknown protocol/durability/workload/figure."""
+    listing = ", ".join(repr(c) for c in choices) or "<nothing registered>"
+    hint = suggestion_hint(str(name), choices)
+    return UnknownNameError(f"unknown {kind} {name!r}{hint}; registered: {listing}")
+
+
+@dataclass(frozen=True)
+class RegistryEntry:
+    """One registered implementation plus its registration metadata."""
+
+    name: str
+    obj: Any
+    metadata: dict = field(default_factory=dict)
+
+
+class Registry:
+    """A name -> implementation table with strict, suggestion-bearing lookups.
+
+    ``ensure_modules`` are imported (once, lazily) before the first lookup or
+    listing so the built-in implementations — which register themselves at
+    import time via the decorators below — are always visible without this
+    module importing any of them eagerly.
+    """
+
+    def __init__(self, kind: str, ensure_modules: Sequence[str] = ()) -> None:
+        self.kind = kind
+        self._entries: dict[str, RegistryEntry] = {}
+        self._ensure_modules = tuple(ensure_modules)
+        self._ensured = not self._ensure_modules
+
+    def _ensure(self) -> None:
+        if not self._ensured:
+            # Flip the flag first: the modules being imported call back into
+            # register(), and a second _ensure() there must be a no-op.
+            self._ensured = True
+            for module in self._ensure_modules:
+                importlib.import_module(module)
+
+    # -- registration -----------------------------------------------------------
+    def register(self, name: str, obj: Any = None, *, replace: bool = False,
+                 **metadata) -> Any:
+        """Register ``obj`` under ``name``; usable directly or as a decorator.
+
+        Metadata keywords are kept on the :class:`RegistryEntry` for consumers
+        (e.g. a protocol's ``default_durability``, a workload's ``config_cls``).
+        """
+        if obj is None:
+            def decorator(target: Any) -> Any:
+                self.register(name, target, replace=replace, **metadata)
+                return target
+            return decorator
+        if not replace and name in self._entries:
+            raise DuplicateNameError(
+                f"{self.kind} {name!r} is already registered "
+                f"({self._entries[name].obj!r}); pass replace=True to override"
+            )
+        self._entries[name] = RegistryEntry(name=name, obj=obj, metadata=dict(metadata))
+        return obj
+
+    def unregister(self, name: str) -> RegistryEntry:
+        """Remove and return an entry (primarily for tests of extensions)."""
+        self._ensure()
+        if name not in self._entries:
+            raise unknown_name_error(self.kind, name, self.names())
+        return self._entries.pop(name)
+
+    # -- lookup -----------------------------------------------------------------
+    def entry(self, name: str) -> RegistryEntry:
+        self._ensure()
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise unknown_name_error(self.kind, name, self.names()) from None
+
+    def get(self, name: str) -> Any:
+        return self.entry(name).obj
+
+    def check(self, name: str) -> str:
+        """Validate that ``name`` is registered (returns it for chaining)."""
+        self.entry(name)
+        return name
+
+    def names(self) -> tuple[str, ...]:
+        self._ensure()
+        return tuple(sorted(self._entries))
+
+    def entries(self) -> tuple[RegistryEntry, ...]:
+        self._ensure()
+        return tuple(self._entries[name] for name in self.names())
+
+    def __contains__(self, name: object) -> bool:
+        self._ensure()
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        self._ensure()
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Registry({self.kind!r}, {list(self.names())})"
+
+    # -- derived views ----------------------------------------------------------
+    def names_view(self) -> "RegistryNames":
+        return RegistryNames(self)
+
+    def as_mapping(self) -> "RegistryMapping":
+        return RegistryMapping(self)
+
+
+class RegistryNames(Sequence):
+    """A live, tuple-like view of a registry's names.
+
+    ``PROTOCOLS`` and ``DURABILITY_SCHEMES`` are instances: every historical
+    call site (``name in PROTOCOLS``, iteration, indexing, ``len``) keeps
+    working, but the contents track the registry — including names registered
+    by external code after import.
+    """
+
+    def __init__(self, registry: Registry) -> None:
+        self._registry = registry
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._registry.names())
+
+    def __len__(self) -> int:
+        return len(self._registry)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._registry
+
+    def __getitem__(self, index):
+        return self._registry.names()[index]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (tuple, list, RegistryNames)):
+            return tuple(self) == tuple(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._registry.names()))
+
+    def __repr__(self) -> str:
+        return repr(self._registry.names())
+
+
+class RegistryMapping(Mapping):
+    """A live, dict-like ``name -> implementation`` view of a registry.
+
+    ``FIGURES`` is an instance; ``FIGURES[name]`` raises the registry's
+    suggestion-bearing :class:`UnknownNameError` instead of a bare KeyError.
+    """
+
+    def __init__(self, registry: Registry) -> None:
+        self._registry = registry
+
+    def __getitem__(self, name: str) -> Any:
+        return self._registry.get(name)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._registry.names())
+
+    def __len__(self) -> int:
+        return len(self._registry)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._registry
+
+    def __repr__(self) -> str:
+        return f"{{{', '.join(f'{n!r}: ...' for n in self._registry.names())}}}"
+
+
+# ---------------------------------------------------------------------------
+# The four registries
+# ---------------------------------------------------------------------------
+
+#: Concurrency-control protocols.  Entry: the protocol class (``cls(cluster)``);
+#: metadata: ``default_durability`` — the paper's §6.1.3 pairing used by
+#: ``SystemConfig.for_protocol`` — and ``description``.
+PROTOCOL_REGISTRY = Registry(
+    "protocol", ensure_modules=("repro.core.primo", "repro.protocols")
+)
+
+#: Durability / group-commit schemes.  Entry: the scheme class (``cls(cluster)``).
+DURABILITY_REGISTRY = Registry(
+    "durability scheme", ensure_modules=("repro.commit", "repro.core.watermark")
+)
+
+#: OLTP workloads.  Entry: the Workload class; metadata: ``config_cls`` (its
+#: config dataclass — override keys are validated against its fields) and
+#: ``scale_defaults`` (config field -> BenchScale attribute supplying the
+#: population sizing for that scale).
+WORKLOAD_REGISTRY = Registry("workload", ensure_modules=("repro.workloads",))
+
+#: Benchmark figures.  Entry: a FigureSpec (``plan``/``render`` pair).
+FIGURE_REGISTRY = Registry("figure", ensure_modules=("repro.bench.experiments",))
+
+
+def register_protocol(name: str, *, default_durability: str = "coco",
+                      description: str = "", replace: bool = False) -> Callable:
+    """Class decorator registering a concurrency-control protocol."""
+    return PROTOCOL_REGISTRY.register(
+        name, replace=replace,
+        default_durability=default_durability, description=description,
+    )
+
+
+def register_durability(name: str, *, description: str = "",
+                        replace: bool = False) -> Callable:
+    """Class decorator registering a durability / group-commit scheme."""
+    return DURABILITY_REGISTRY.register(name, replace=replace, description=description)
+
+
+def register_workload(name: str, *, config_cls: type,
+                      scale_defaults: Optional[Mapping[str, str]] = None,
+                      description: str = "", replace: bool = False) -> Callable:
+    """Class decorator registering a workload plus its config dataclass.
+
+    ``scale_defaults`` maps config-field names to ``BenchScale`` attribute
+    names; ``repro.scenario.build_workload`` seeds the config with those
+    per-scale values before applying explicit overrides.
+    """
+    return WORKLOAD_REGISTRY.register(
+        name, replace=replace,
+        config_cls=config_cls,
+        scale_defaults=dict(scale_defaults or {}),
+        description=description,
+    )
+
+
+def register_figure(name: str, *, description: str = "",
+                    replace: bool = False) -> Callable:
+    """Decorator (or direct call via ``FIGURE_REGISTRY.register``) for figures."""
+    return FIGURE_REGISTRY.register(name, replace=replace, description=description)

@@ -1,0 +1,135 @@
+"""Run-size presets shared by the scenario layer and the benchmark harness.
+
+A :class:`BenchScale` bundles everything that makes a run bigger or smaller
+without changing its semantics: simulated duration, per-partition concurrency,
+and the population sizing of every registered workload.  Three figure-quality
+presets are exposed to the CLI (``small``/``medium``/``paper``); the extra
+``tiny`` preset is for tests and gates, where each cell must simulate in a
+fraction of a second.
+
+This lives outside ``repro.bench`` so ``repro.scenario`` (which every bench
+entry point is built on) can import it without a cycle; ``repro.bench.runner``
+re-exports the same names for existing call sites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["BenchScale", "SCALES", "TINY_SCALE", "resolve_scale", "sweep_values"]
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """Run-size preset used by the experiment functions."""
+
+    name: str
+    duration_us: float
+    warmup_us: float
+    workers_per_partition: int
+    inflight_per_worker: int
+    ycsb_keys_per_partition: int
+    tpcc_warehouses_per_partition: int
+    tpcc_items: int
+    tpcc_customers_per_district: int
+    sweep_points: int  # how many points of each sweep to keep
+    # Extension-workload populations (see each workload's ``scale_defaults``
+    # registration).  Defaulted so pre-existing BenchScale(...) call sites
+    # keep constructing.
+    tatp_subscribers_per_partition: int = 20_000
+    smallbank_accounts_per_partition: int = 20_000
+
+
+SCALES: dict[str, BenchScale] = {
+    "small": BenchScale(
+        name="small",
+        duration_us=20_000.0,
+        warmup_us=5_000.0,
+        workers_per_partition=2,
+        inflight_per_worker=2,
+        ycsb_keys_per_partition=10_000,
+        tpcc_warehouses_per_partition=4,
+        tpcc_items=200,
+        tpcc_customers_per_district=30,
+        sweep_points=3,
+        tatp_subscribers_per_partition=5_000,
+        smallbank_accounts_per_partition=5_000,
+    ),
+    "medium": BenchScale(
+        name="medium",
+        duration_us=40_000.0,
+        warmup_us=10_000.0,
+        workers_per_partition=3,
+        inflight_per_worker=2,
+        ycsb_keys_per_partition=20_000,
+        tpcc_warehouses_per_partition=8,
+        tpcc_items=500,
+        tpcc_customers_per_district=60,
+        sweep_points=4,
+        tatp_subscribers_per_partition=10_000,
+        smallbank_accounts_per_partition=10_000,
+    ),
+    "paper": BenchScale(
+        name="paper",
+        duration_us=100_000.0,
+        warmup_us=20_000.0,
+        workers_per_partition=4,
+        inflight_per_worker=3,
+        ycsb_keys_per_partition=100_000,
+        tpcc_warehouses_per_partition=16,
+        tpcc_items=2_000,
+        tpcc_customers_per_district=200,
+        sweep_points=6,
+        tatp_subscribers_per_partition=20_000,
+        smallbank_accounts_per_partition=20_000,
+    ),
+}
+
+
+#: Tiny preset for tests and gates: each cell simulates in a fraction of a
+#: second.  Deliberately not in :data:`SCALES` so the CLI only offers the
+#: figure-quality presets, but :func:`resolve_scale` accepts it by name.
+TINY_SCALE = BenchScale(
+    name="tiny",
+    duration_us=6_000.0,
+    warmup_us=2_000.0,
+    workers_per_partition=1,
+    inflight_per_worker=2,
+    ycsb_keys_per_partition=2_000,
+    tpcc_warehouses_per_partition=2,
+    tpcc_items=50,
+    tpcc_customers_per_district=10,
+    sweep_points=2,
+    tatp_subscribers_per_partition=500,
+    smallbank_accounts_per_partition=500,
+)
+
+
+def resolve_scale(scale) -> BenchScale:
+    """Coerce a scale given by name, mapping, or instance into a BenchScale."""
+    if isinstance(scale, BenchScale):
+        return scale
+    if isinstance(scale, str):
+        if scale == TINY_SCALE.name:
+            return TINY_SCALE
+        if scale in SCALES:
+            return SCALES[scale]
+        from .registry import unknown_name_error
+
+        raise unknown_name_error(
+            "scale", scale, tuple(sorted(SCALES)) + (TINY_SCALE.name,)
+        )
+    if isinstance(scale, dict):
+        return BenchScale(**scale)
+    raise TypeError(f"scale must be a name, dict or BenchScale, not {type(scale).__name__}")
+
+
+def sweep_values(values: list, scale: BenchScale) -> list:
+    """Thin a sweep down to the scale's number of points (keeping endpoints)."""
+    if len(values) <= scale.sweep_points:
+        return list(values)
+    if scale.sweep_points == 1:
+        return [values[-1]]
+    step = (len(values) - 1) / (scale.sweep_points - 1)
+    indices = sorted({round(i * step) for i in range(scale.sweep_points)})
+    return [values[i] for i in indices]

@@ -1,0 +1,359 @@
+"""Declarative scenarios: the package's single front door to a simulation.
+
+A :class:`ScenarioSpec` captures one (protocol × durability × workload ×
+scale × knobs) evaluation point as a frozen, JSON-round-trippable value.
+Everything the repo runs — ``repro.run``, ``repro.bench.runner.run_config``,
+the figure orchestrator's cells, ``python -m repro.bench --scenario`` — is
+built from one, so there is exactly one code path from "named configuration"
+to "running cluster".
+
+Specs validate **eagerly at construction**: protocol/durability/workload
+names are checked against the registries (:mod:`repro.registry`) and override
+keys against the fields of :class:`~repro.cluster.config.SystemConfig` and
+the registered workload's config dataclass.  A typo fails with a did-you-mean
+suggestion when the plan is written, not minutes later inside a pool worker.
+
+Example::
+
+    from repro import ScenarioSpec, run, scenarios
+
+    spec = ScenarioSpec(
+        protocol="primo",
+        workload="ycsb",
+        scale="small",
+        workload_overrides={"zipf_theta": 0.8},
+        config_overrides={"n_partitions": 8},
+    )
+    result = run(spec)
+
+    # One spec per (protocol, skew) pair, ready for the orchestrator:
+    grid = scenarios.sweep(spec, protocol=["primo", "sundial"],
+                           zipf_theta=[0.0, 0.4, 0.8])
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import json
+from dataclasses import dataclass, fields
+from typing import Any, Iterable, Mapping, Optional
+
+from .cluster.cluster import Cluster
+from .cluster.config import SystemConfig
+from .cluster.results import RunResult
+from .registry import (
+    DURABILITY_REGISTRY,
+    PROTOCOL_REGISTRY,
+    WORKLOAD_REGISTRY,
+    suggestion_hint,
+)
+from .scales import SCALES, BenchScale, resolve_scale
+from .workloads.base import Workload
+
+__all__ = [
+    "ScenarioSpec",
+    "build",
+    "build_workload",
+    "run",
+    "sweep",
+]
+
+#: SystemConfig fields a spec may override.  ``protocol`` and ``durability``
+#: are spec fields in their own right; listing them here would create two ways
+#: to say the same thing.
+_CONFIG_FIELD_NAMES = tuple(
+    f.name for f in fields(SystemConfig) if f.name not in ("protocol", "durability")
+)
+
+
+def _normalize_value(name: str, value: Any) -> Any:
+    """Restrict override values to JSON-round-trippable shapes.
+
+    Scalars pass through; lists/tuples become tuples (recursively), so a spec
+    rebuilt from its JSON compares equal to the original.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return tuple(_normalize_value(name, item) for item in value)
+    raise TypeError(
+        f"override {name!r} has non-JSON-serializable value {value!r} "
+        f"({type(value).__name__}); use scalars or lists"
+    )
+
+
+def _freeze_overrides(overrides, *, kind: str, valid: tuple[str, ...]) -> tuple:
+    """Normalize overrides into sorted ``(name, value)`` pairs, validating keys."""
+    if not overrides:
+        return ()
+    items = dict(overrides)
+    for name in items:
+        if name not in valid:
+            raise ValueError(
+                f"unknown {kind} override {name!r}{suggestion_hint(str(name), valid)}; "
+                f"valid keys: {', '.join(valid)}"
+            )
+    return tuple(
+        (name, _normalize_value(name, items[name])) for name in sorted(items)
+    )
+
+
+def _freeze_delay(name: str, value) -> Optional[tuple]:
+    if value is None:
+        return None
+    pair = tuple(value)
+    if len(pair) != 2:
+        raise ValueError(f"{name} must be a (partition_id, delay_us) pair, got {value!r}")
+    return (int(pair[0]), float(pair[1]))
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One evaluation point, validated at construction and JSON-round-trippable.
+
+    ``durability=None`` means "the protocol's default pairing" (registration
+    metadata, §6.1.3).  ``scale`` accepts a preset name (``"small"``,
+    ``"tiny"``, …), a :class:`BenchScale`, or its dict form.  Override
+    mappings are frozen into sorted pairs so equal scenarios hash and
+    serialize identically regardless of how they were written.
+    """
+
+    protocol: str
+    workload: str = "ycsb"
+    durability: Optional[str] = None
+    scale: BenchScale = SCALES["small"]
+    config_overrides: tuple = ()
+    workload_overrides: tuple = ()
+    #: (partition_id, delay_us) applied via ``durability.set_message_delay``
+    #: after the cluster is built (Fig. 13a's lagging control messages).
+    durability_message_delay: Optional[tuple] = None
+    #: (partition_id, extra_delay_us) applied via ``network.set_extra_delay_to``
+    #: (Fig. 13b's slow partition).
+    network_extra_delay_to: Optional[tuple] = None
+
+    def __post_init__(self) -> None:
+        def set_field(name: str, value) -> None:
+            object.__setattr__(self, name, value)
+
+        PROTOCOL_REGISTRY.check(self.protocol)
+        workload_entry = WORKLOAD_REGISTRY.entry(self.workload)
+        set_field("scale", resolve_scale(self.scale))
+
+        config_overrides = dict(self.config_overrides or ())
+        # ``durability`` is a first-class axis; accept it in the override dict
+        # (the historical run_config spelling) but store it on the field.
+        hoisted = config_overrides.pop("durability", None)
+        if hoisted is not None:
+            if self.durability is not None and self.durability != hoisted:
+                raise ValueError(
+                    f"durability given twice: field {self.durability!r} vs "
+                    f"config override {hoisted!r}"
+                )
+            set_field("durability", hoisted)
+        if self.durability is not None:
+            DURABILITY_REGISTRY.check(self.durability)
+
+        set_field(
+            "config_overrides",
+            _freeze_overrides(config_overrides, kind="config",
+                              valid=_CONFIG_FIELD_NAMES),
+        )
+        workload_fields = tuple(
+            f.name for f in fields(workload_entry.metadata["config_cls"])
+        )
+        set_field(
+            "workload_overrides",
+            _freeze_overrides(self.workload_overrides, kind="workload",
+                              valid=workload_fields),
+        )
+        set_field(
+            "durability_message_delay",
+            _freeze_delay("durability_message_delay", self.durability_message_delay),
+        )
+        set_field(
+            "network_extra_delay_to",
+            _freeze_delay("network_extra_delay_to", self.network_extra_delay_to),
+        )
+
+    # -- resolution -------------------------------------------------------------
+    @property
+    def resolved_durability(self) -> str:
+        """The durability scheme that will actually run (§6.1.3 pairing)."""
+        if self.durability is not None:
+            return self.durability
+        entry = PROTOCOL_REGISTRY.entry(self.protocol)
+        return entry.metadata.get("default_durability", "coco")
+
+    # -- JSON round trip ---------------------------------------------------------
+    def to_json_dict(self) -> dict:
+        """A plain-JSON representation; inverse of :meth:`from_json_dict`."""
+
+        def plain(value):
+            if isinstance(value, tuple):
+                return [plain(item) for item in value]
+            return value
+
+        return {
+            "protocol": self.protocol,
+            "workload": self.workload,
+            "durability": self.durability,
+            "scale": dataclasses.asdict(self.scale),
+            "config_overrides": {name: plain(v) for name, v in self.config_overrides},
+            "workload_overrides": {name: plain(v) for name, v in self.workload_overrides},
+            "durability_message_delay": plain(self.durability_message_delay),
+            "network_extra_delay_to": plain(self.network_extra_delay_to),
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping) -> "ScenarioSpec":
+        """Rebuild a spec from :meth:`to_json_dict` output (or a hand-written
+        scenario file; ``scale`` may be a preset name)."""
+        if not isinstance(data, Mapping):
+            raise TypeError(f"scenario must be a JSON object, got {type(data).__name__}")
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown scenario field(s) {', '.join(map(repr, unknown))}"
+                f"{suggestion_hint(unknown[0], tuple(known))}"
+            )
+        kwargs = dict(data)
+        if "protocol" not in kwargs:
+            raise ValueError("scenario is missing the required 'protocol' field")
+        return cls(**kwargs)
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_json_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        return cls.from_json_dict(json.loads(text))
+
+    def canonical_json(self) -> str:
+        """Minimal, key-sorted JSON — the stable identity cache keys hash."""
+        return json.dumps(self.to_json_dict(), sort_keys=True, separators=(",", ":"))
+
+    # -- derivation --------------------------------------------------------------
+    def derive(self, **changes) -> "ScenarioSpec":
+        """A new validated spec with ``changes`` applied.
+
+        Each keyword is routed by name: spec fields replace, SystemConfig
+        fields merge into ``config_overrides``, and fields of the (possibly
+        newly chosen) workload's config dataclass merge into
+        ``workload_overrides``.  Anything else raises with a suggestion.
+        """
+        spec_fields = {f.name for f in fields(self)}
+        replacements = {k: v for k, v in changes.items() if k in spec_fields}
+        remainder = {k: v for k, v in changes.items() if k not in spec_fields}
+
+        workload = replacements.get("workload", self.workload)
+        workload_fields = tuple(
+            f.name
+            for f in fields(WORKLOAD_REGISTRY.entry(workload).metadata["config_cls"])
+        )
+        config_updates, workload_updates = {}, {}
+        for name, value in remainder.items():
+            if name in _CONFIG_FIELD_NAMES:
+                config_updates[name] = value
+            elif name in workload_fields:
+                workload_updates[name] = value
+            else:
+                choices = spec_fields | set(_CONFIG_FIELD_NAMES) | set(workload_fields)
+                raise ValueError(
+                    f"unknown scenario axis {name!r}"
+                    f"{suggestion_hint(name, tuple(sorted(choices)))}; axes are spec "
+                    "fields, SystemConfig fields, or workload config fields"
+                )
+        if config_updates:
+            # An explicit config_overrides replacement is the merge base;
+            # loose knobs layer on top of it, never over it.
+            merged = dict(replacements.get("config_overrides", self.config_overrides))
+            merged.update(config_updates)
+            replacements["config_overrides"] = merged
+        if workload_updates:
+            if "workload_overrides" in replacements:
+                base = replacements["workload_overrides"]
+            elif "workload" in replacements:
+                base = ()
+            else:
+                base = self.workload_overrides
+            merged = dict(base)
+            merged.update(workload_updates)
+            replacements["workload_overrides"] = merged
+        elif "workload" in replacements and "workload_overrides" not in replacements:
+            # Overrides are validated against the workload's config; they do
+            # not silently carry over to a different workload.
+            replacements["workload_overrides"] = ()
+        return dataclasses.replace(self, **replacements)
+
+
+def sweep(base: ScenarioSpec, **axes: Iterable) -> list[ScenarioSpec]:
+    """The cartesian product of ``base`` varied over ``axes``.
+
+    Each axis is routed exactly like :meth:`ScenarioSpec.derive` keywords::
+
+        sweep(base, protocol=["primo", "sundial"], zipf_theta=[0.0, 0.6, 0.9])
+
+    returns 6 validated specs, protocol-major (last axis fastest).
+    """
+    names = list(axes)
+    value_lists = [list(axes[name]) for name in names]
+    for name, values in zip(names, value_lists):
+        if not values:
+            raise ValueError(f"sweep axis {name!r} has no values")
+    return [
+        base.derive(**dict(zip(names, combo)))
+        for combo in itertools.product(*value_lists)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Building and running
+# ---------------------------------------------------------------------------
+
+def build_workload(scale, workload: str = "ycsb", **overrides) -> Workload:
+    """Construct a registered workload with the scale's sizing defaults applied."""
+    scale = resolve_scale(scale)
+    entry = WORKLOAD_REGISTRY.entry(workload)
+    params = {
+        config_field: getattr(scale, scale_attr)
+        for config_field, scale_attr in entry.metadata["scale_defaults"].items()
+    }
+    params.update(overrides)
+    config_cls = entry.metadata["config_cls"]
+    return entry.obj(config_cls(**params))
+
+
+def build(spec: ScenarioSpec) -> Cluster:
+    """Build (but do not run) the cluster for one scenario.
+
+    The single assembly path shared by ``repro.run``, ``run_config`` and the
+    orchestrator's cell executor: scale presets fill any config knob the spec
+    does not override, the protocol's default durability pairing applies
+    unless the spec names a scheme, and the failure-injection delays are
+    installed on the finished cluster.
+    """
+    scale = spec.scale
+    overrides = dict(spec.config_overrides)
+    overrides.setdefault("duration_us", scale.duration_us)
+    overrides.setdefault("warmup_us", scale.warmup_us)
+    overrides.setdefault("workers_per_partition", scale.workers_per_partition)
+    overrides.setdefault("inflight_per_worker", scale.inflight_per_worker)
+    if spec.durability is not None:
+        overrides["durability"] = spec.durability
+    config = SystemConfig.for_protocol(spec.protocol, **overrides)
+    workload = build_workload(scale, spec.workload, **dict(spec.workload_overrides))
+    cluster = Cluster(config, workload)
+    if spec.durability_message_delay is not None:
+        partition, delay_us = spec.durability_message_delay
+        cluster.durability.set_message_delay(partition, delay_us)
+    if spec.network_extra_delay_to is not None:
+        partition, delay_us = spec.network_extra_delay_to
+        cluster.network.set_extra_delay_to(partition, delay_us)
+    return cluster
+
+
+def run(spec: ScenarioSpec) -> RunResult:
+    """Run one scenario to completion and return its measured results."""
+    return build(spec).run()

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Generator
 
+from ..registry import register_workload
 from ..sim.randgen import DeterministicRandom
 from .base import TransactionSpec, TxnSource, Workload
 
@@ -94,6 +95,12 @@ class _SmallbankSource(TxnSource):
         return TransactionSpec("sb_send_payment", w.send_payment(p, a1, dest_partition, a2, 5.0))
 
 
+@register_workload(
+    "smallbank",
+    config_cls=SmallbankConfig,
+    scale_defaults={"accounts_per_partition": "smallbank_accounts_per_partition"},
+    description="checking/savings banking mix with hot accounts",
+)
 class SmallbankWorkload(Workload):
     name = "smallbank"
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Generator
 
+from ..registry import register_workload
 from ..sim.randgen import DeterministicRandom
 from .base import TransactionSpec, TxnSource, Workload
 
@@ -86,6 +87,12 @@ class _TATPSource(TxnSource):
         )
 
 
+@register_workload(
+    "tatp",
+    config_cls=TATPConfig,
+    scale_defaults={"subscribers_per_partition": "tatp_subscribers_per_partition"},
+    description="read-heavy telecom mix (read-set covers write-set, §1)",
+)
 class TATPWorkload(Workload):
     name = "tatp"
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Generator
 
+from ..registry import register_workload
 from ..sim.randgen import DeterministicRandom
 from .base import TransactionSpec, TxnSource, Workload
 
@@ -64,6 +65,16 @@ class TPCCConfig:
             raise ValueError(f"transaction mix must sum to ~100 (got {total})")
 
 
+@register_workload(
+    "tpcc",
+    config_cls=TPCCConfig,
+    scale_defaults={
+        "warehouses_per_partition": "tpcc_warehouses_per_partition",
+        "items": "tpcc_items",
+        "customers_per_district": "tpcc_customers_per_district",
+    },
+    description="full five-transaction TPC-C mix",
+)
 class TPCCWorkload(Workload):
     name = "tpcc"
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Generator
 
+from ..registry import register_workload
 from ..sim.randgen import DeterministicRandom, ZipfGenerator
 from .base import TransactionSpec, TxnSource, Workload
 
@@ -111,6 +112,12 @@ class YCSBSource(TxnSource):
         )
 
 
+@register_workload(
+    "ycsb",
+    config_cls=YCSBConfig,
+    scale_defaults={"keys_per_partition": "ycsb_keys_per_partition"},
+    description="Zipf key-value mix; knobs map to the sweeps of §6.3",
+)
 class YCSBWorkload(Workload):
     name = "ycsb"
 

@@ -3,6 +3,10 @@
 from __future__ import annotations
 
 import json
+import os
+import subprocess
+import sys
+from pathlib import Path
 
 from repro.bench.orchestrator import (
     CACHE_SCHEMA_VERSION,
@@ -186,6 +190,47 @@ def test_jobs_1_and_jobs_4_produce_identical_results(tmp_path):
     for c in cells:
         assert fingerprint(inline.results[c]) == fingerprint(pooled.results[c])
         assert fingerprint(inline.results[c]) == fingerprint(cached.results[c])
+
+
+def test_cache_keys_are_stable_across_processes():
+    """A spec-derived cache key must not depend on interpreter state (hash
+    randomization, registration order): a warm cache written by one process
+    has to hit in the next."""
+    script = (
+        "from repro.bench.orchestrator import make_cell\n"
+        "from repro.scales import TINY_SCALE\n"
+        "print(make_cell('figX', 'k', 'primo', TINY_SCALE,\n"
+        "                workload_overrides={'zipf_theta': 0.9, 'write_pct': 0.2},\n"
+        "                durability='coco', n_partitions=2).cache_key())\n"
+    )
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    keys = {
+        subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, check=True,
+            env={**env, "PYTHONHASHSEED": seed},
+        ).stdout.strip()
+        for seed in ("0", "12345")
+    }
+    local = make_cell(
+        "figX", "k", "primo", TEST_SCALE,
+        workload_overrides={"write_pct": 0.2, "zipf_theta": 0.9},
+        durability="coco", n_partitions=2,
+    ).cache_key()
+    assert keys == {local}
+
+
+def test_cell_spec_is_a_validated_scenario():
+    from repro.scenario import ScenarioSpec
+
+    c = cell(workload_overrides={"zipf_theta": 0.9})
+    assert isinstance(c.spec, ScenarioSpec)
+    assert c.protocol == "primo" and c.workload == "ycsb"
+    assert dict(c.spec.workload_overrides) == {"zipf_theta": 0.9}
+    # Cache keys hash the spec's canonical JSON plus the substrate version.
+    assert c.cache_key() == Cell("other", "name", c.spec).cache_key()
 
 
 def test_by_key_maps_results_for_renderers():
