@@ -1,14 +1,15 @@
 #!/usr/bin/env python3
 """Failure and recovery demo: what happens when a partition leader crashes.
 
-Declares the crash as part of the scenario — ``crash_partition`` /
-``crash_time_us`` are ordinary config overrides on a
-:class:`repro.ScenarioSpec` — then uses :func:`repro.build` (rather than
-:func:`repro.run`) to keep a handle on the cluster, so the post-run recovery
-state of §5.2 can be inspected: failure detection by the membership service,
-leader re-election, watermark agreement (every partition publishes its latest
-partition watermark, the maximum wins), rollback of the transactions above the
-agreed watermark, and resumption of normal processing.
+Declares the crash as a :class:`repro.FaultPlan` event on the scenario
+(``faults=[...]`` — the legacy ``crash_partition``/``crash_time_us`` config
+overrides still work and compile to exactly this event), then uses
+:func:`repro.build` (rather than :func:`repro.run`) to keep a handle on the
+cluster, so the post-run recovery state of §5.2 can be inspected: failure
+detection by the membership service, leader re-election, watermark agreement
+(every partition publishes its latest partition watermark, the maximum wins),
+rollback of the transactions above the agreed watermark, and resumption of
+normal processing.
 
 Run with:  python examples/failure_recovery.py
 """
@@ -28,12 +29,13 @@ def main() -> None:
             "duration_us": 60_000.0,
             "warmup_us": 10_000.0,
             "epoch_length_us": 5_000.0,
-            "crash_partition": 2,
-            "crash_time_us": 40_000.0,   # kill partition 2 at t = 40 ms
             "heartbeat_interval_us": 1_000.0,
             "heartbeat_timeout_us": 5_000.0,
         },
         workload_overrides={"keys_per_partition": 10_000},
+        # Kill partition 2's leader at t = 40 ms; see `--list faults` for the
+        # other registered fault kinds (delay windows, partitions, skew, ...).
+        faults=[repro.fault("crash", at_us=40_000.0, target=2)],
     )
     cluster = repro.build(spec)
     result = cluster.run()

@@ -26,7 +26,7 @@ objects (``Cluster``, ``SystemConfig``, workload classes) remain available
 for code that wants to assemble a cluster by hand.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from .cluster import Cluster, RunResult, Server, SystemConfig
 from .cluster.config import DURABILITY_SCHEMES, PROTOCOLS
@@ -36,20 +36,27 @@ from .core import (
     PrimoProtocol,
     WatermarkGroupCommit,
 )
+from .faults import FaultEvent, FaultPlan, fault
 from .registry import (
     DURABILITY_REGISTRY,
+    FAULT_REGISTRY,
     FIGURE_REGISTRY,
     PROTOCOL_REGISTRY,
+    SCALE_REGISTRY,
     WORKLOAD_REGISTRY,
     register_durability,
+    register_fault,
     register_figure,
     register_protocol,
+    register_scale,
     register_workload,
 )
 from .scales import SCALES, TINY_SCALE, BenchScale
 from .scenario import ScenarioSpec, build, run, sweep
 from . import scenario as scenarios
 from .workloads import (
+    MixedConfig,
+    MixedWorkload,
     SmallbankConfig,
     SmallbankWorkload,
     TATPConfig,
@@ -70,11 +77,17 @@ __all__ = [
     "ConflictRateModel",
     "DURABILITY_REGISTRY",
     "DURABILITY_SCHEMES",
+    "FAULT_REGISTRY",
     "FIGURE_REGISTRY",
+    "FaultEvent",
+    "FaultPlan",
+    "MixedConfig",
+    "MixedWorkload",
     "PROTOCOL_REGISTRY",
     "PROTOCOLS",
     "PrimoProtocol",
     "RunResult",
+    "SCALE_REGISTRY",
     "SCALES",
     "ScenarioSpec",
     "Server",
@@ -93,9 +106,12 @@ __all__ = [
     "YCSBWorkload",
     "__version__",
     "build",
+    "fault",
     "register_durability",
+    "register_fault",
     "register_figure",
     "register_protocol",
+    "register_scale",
     "register_workload",
     "run",
     "scenarios",

@@ -7,11 +7,12 @@ missing.  ``--emit-json`` writes the per-figure data dictionaries plus sweep
 accounting as a machine-readable artifact (used by the figures-smoke CI job).
 
 The registries are the CLI's source of truth: ``--list protocols`` (or
-``workloads``/``durability``/``figures``/``scales``) prints everything
-currently registered — including extensions registered by imported user code —
-and ``--scenario file.json`` runs declarative
-:class:`~repro.scenario.ScenarioSpec` documents through the same cached
-orchestrator as the figures.
+``workloads``/``durability``/``figures``/``scales``/``faults``) prints
+everything currently registered — including extensions registered by imported
+user code — and ``--scenario file.json`` runs declarative
+:class:`~repro.scenario.ScenarioSpec` documents — fault plans and workload
+mixes included — through the same cached orchestrator as the figures (see
+``examples/scenarios/`` for a cookbook).
 """
 
 from __future__ import annotations
@@ -23,12 +24,14 @@ import time
 
 from ..registry import (
     DURABILITY_REGISTRY,
+    FAULT_REGISTRY,
     FIGURE_REGISTRY,
     PROTOCOL_REGISTRY,
+    SCALE_REGISTRY,
     WORKLOAD_REGISTRY,
     UnknownNameError,
 )
-from ..scales import SCALES, TINY_SCALE
+from ..scales import SCALES
 from ..scenario import ScenarioSpec
 from .experiments import FIGURES
 from .orchestrator import Cell, NullCache, ResultCache, SUBSTRATE_VERSION, run_cells
@@ -51,11 +54,22 @@ LISTINGS = {
         (e.name, e.metadata.get("description", "")) for e in FIGURE_REGISTRY.entries()
     ],
     "scales": lambda: [
-        (s.name, f"{s.duration_us / 1000.0:g} ms simulated, "
-                 f"{s.sweep_points} sweep points")
-        for s in [*SCALES.values(), TINY_SCALE]
+        (e.name, e.metadata.get("description", "")
+                 or f"{e.obj.duration_us / 1000.0:g} ms simulated, "
+                    f"{e.obj.sweep_points} sweep points")
+        for e in SCALE_REGISTRY.entries()
+    ],
+    "faults": lambda: [
+        (e.name, _fault_blurb(e)) for e in FAULT_REGISTRY.entries()
     ],
 }
+
+
+def _fault_blurb(entry) -> str:
+    description = entry.metadata.get("description", "")
+    params = entry.metadata.get("params", ())
+    suffix = f"[params: {', '.join(params)}]" if params else ""
+    return " ".join(part for part in (description, suffix) if part)
 
 
 def _protocol_blurb(entry) -> str:
@@ -167,8 +181,8 @@ def main(argv: list[str] | None = None) -> int:
         "--scale",
         default=None,
         choices=sorted(SCALES),
-        help="run size: small (seconds per point), medium, or paper "
-             "(default: small; scenario files carry their own scale)",
+        help="run size: tiny (tests), small (seconds per point), medium, or "
+             "paper (default: small; scenario files carry their own scale)",
     )
     parser.add_argument(
         "--jobs",

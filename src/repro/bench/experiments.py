@@ -524,13 +524,17 @@ FIG13_SLOW_VARIANTS = (
 
 
 def fig13_plan(scale: BenchScale) -> list[Cell]:
+    # Both halves are declarative fault plans now; the legacy scalar knobs
+    # compile to exactly these events (bit-identity pinned by
+    # tests/api/test_faults.py).
     delays_ms = sweep_values([0.0, 5.0, 10.0, 20.0, 30.0], scale)
     cells = [
         # (a) delay only the watermark/epoch control messages of partition 1.
         make_cell(
             "fig13", f"{scheme}@d{delay_ms}", "primo", scale,
             workload="ycsb", durability=scheme,
-            durability_message_delay=(1, delay_ms * 1000.0),
+            faults=[{"kind": "message_delay", "target": 1,
+                     "delay_us": delay_ms * 1000.0}],
         )
         for delay_ms in delays_ms
         for scheme in ("wm", "coco")
@@ -544,7 +548,8 @@ def fig13_plan(scale: BenchScale) -> list[Cell]:
                 workload="ycsb", durability=scheme,
                 watermark_force_update=bool(force_update),
                 cpu_record_access_us=0.4,
-                network_extra_delay_to=(1, 200.0),
+                faults=[{"kind": "slow_partition", "target": 1,
+                         "delay_us": 200.0}],
             )
         )
     return cells

@@ -70,10 +70,11 @@ __all__ = [
 #: coexist on CI.
 SUBSTRATE_VERSION = _REPRO_VERSION
 
-#: Version of the on-disk cache file format itself.  v2: cells carry a
-#: ScenarioSpec and cache keys hash its canonical JSON (durability became a
-#: first-class spec field, scales grew extension-workload sizing).
-CACHE_SCHEMA_VERSION = 2
+#: Version of the on-disk cache file format itself.  v3: spec JSON grew the
+#: declarative ``faults`` plan (and workload mixes), so fault schedules and
+#: mix weights are part of every cell's cache identity.  v2: cells carry a
+#: ScenarioSpec and cache keys hash its canonical JSON.
+CACHE_SCHEMA_VERSION = 3
 
 
 @dataclass(frozen=True)
@@ -124,14 +125,16 @@ def make_cell(
     scale: BenchScale,
     workload: str = "ycsb",
     workload_overrides: Optional[dict] = None,
+    faults=None,
     durability_message_delay: Optional[tuple] = None,
     network_extra_delay_to: Optional[tuple] = None,
     **config_overrides,
 ) -> Cell:
     """Convenience constructor mirroring :func:`repro.bench.runner.run_config`.
 
-    Spec validation runs here — a typo'd protocol, workload, or override key
-    fails while the figure is being *planned*, before anything simulates.
+    Spec validation runs here — a typo'd protocol, workload, override key,
+    fault kind or mix component fails while the figure is being *planned*,
+    before anything simulates.
     """
     return Cell(
         figure=figure,
@@ -142,6 +145,7 @@ def make_cell(
             scale=scale,
             workload_overrides=workload_overrides or {},
             config_overrides=config_overrides,
+            faults=faults,
             durability_message_delay=durability_message_delay,
             network_extra_delay_to=network_extra_delay_to,
         ),

@@ -22,6 +22,7 @@ from collections import defaultdict
 from typing import Optional
 
 from ..commit import create_durability_scheme
+from ..faults import FaultPlan, FaultScheduler, compile_legacy_faults
 from ..protocols import create_protocol
 from ..replication.membership import MembershipService
 from ..sim.engine import Environment
@@ -31,7 +32,7 @@ from ..sim.stats import Counter, RunMetrics
 from ..txn.transaction import Transaction
 from ..workloads.base import Workload
 from .config import SystemConfig
-from .recovery import CrashInjector, RecoveryCoordinator
+from .recovery import RecoveryCoordinator
 from .results import RunResult
 from .server import Server
 from .worker import worker_loop
@@ -40,9 +41,16 @@ __all__ = ["Cluster"]
 
 
 class Cluster:
-    """A simulated cluster running one protocol on one workload."""
+    """A simulated cluster running one protocol on one workload.
 
-    def __init__(self, config: SystemConfig, workload: Workload):
+    ``faults`` is an optional declarative :class:`~repro.faults.FaultPlan`
+    (or a list of fault events); the legacy ``config.crash_partition`` /
+    ``config.crash_time_us`` knobs are compiled onto the same plan, so both
+    spellings share one injection path.
+    """
+
+    def __init__(self, config: SystemConfig, workload: Workload,
+                 faults: Optional[FaultPlan] = None):
         config.validate()
         self.config = config
         self.workload = workload
@@ -72,7 +80,12 @@ class Cluster:
             heartbeat_timeout_us=config.heartbeat_timeout_us,
         )
         self.recovery = RecoveryCoordinator(self)
-        self.crash_injector = CrashInjector(self)
+        plan = FaultPlan.coerce(faults) or FaultPlan()
+        self.fault_plan = plan.extend(compile_legacy_faults(
+            crash_partition=config.crash_partition,
+            crash_time_us=config.crash_time_us,
+        ))
+        self.fault_scheduler = FaultScheduler(self, self.fault_plan)
 
         # Measurement state.
         self.metrics = RunMetrics()
@@ -142,8 +155,8 @@ class Cluster:
         self._started = True
         self.durability.start()
         self.recovery.start()
-        self.crash_injector.start()
-        if self.config.crash_time_us is not None:
+        self.fault_scheduler.start()
+        if self.fault_plan.requires_membership:
             self.membership.start()
             for server in self.servers.values():
                 self.env.process(self._heartbeat_loop(server), name=f"heartbeat-p{server.partition_id}")

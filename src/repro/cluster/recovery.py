@@ -1,7 +1,14 @@
 """Crash injection and the recovery protocol of §5.2.
 
-``CrashInjector`` kills a partition leader at a configured time (the
-experiment of Fig. 12b kills one partition after a fixed interval).
+``CrashInjector`` is the legacy single-crash shim: it compiles the
+``config.crash_partition`` / ``config.crash_time_us`` knobs into a one-event
+:class:`repro.faults.FaultPlan` (the experiment of Fig. 12b kills one
+partition after a fixed interval).  Declarative multi-event injection —
+failure storms, rolling crashes, delay windows — goes through
+``ScenarioSpec(faults=...)`` and :class:`repro.faults.FaultScheduler`
+instead; the cluster itself feeds the legacy knobs through the same
+compilation, so both paths are one code path.
+
 ``RecoveryCoordinator`` reacts to the membership service's failure
 notification and runs the paper's recovery sequence:
 
@@ -30,25 +37,28 @@ __all__ = ["CrashInjector", "RecoveryCoordinator"]
 
 
 class CrashInjector:
-    """Kills a partition leader at ``config.crash_time_us``."""
+    """Legacy shim: ``config.crash_*`` knobs compiled to a one-crash FaultPlan.
+
+    :class:`~repro.cluster.cluster.Cluster` compiles the same knobs into its
+    own fault plan (applied by ``Cluster.start()``), so this class is no
+    longer part of the standard assembly path.  It is kept solely for code
+    that drives the environment by hand *without* ``Cluster.start()``; as
+    before this refactor, calling ``start()`` here *and* running the cluster
+    normally schedules the crash twice.
+    """
 
     def __init__(self, cluster: "Cluster"):
         self.cluster = cluster
         self.env = cluster.env
 
     def start(self) -> None:
-        config = self.cluster.config
-        if config.crash_partition is None or config.crash_time_us is None:
-            return
-        self.env.process(self._inject(), name="crash-injector")
+        from ..faults import FaultPlan, FaultScheduler, compile_legacy_faults
 
-    def _inject(self) -> Generator:
         config = self.cluster.config
-        yield self.env.timeout(config.crash_time_us)
-        server = self.cluster.servers[config.crash_partition]
-        server.crash()
-        self.cluster.durability.notify_crash(config.crash_partition)
-        self.cluster.counters.increment("crashes_injected")
+        events = compile_legacy_faults(crash_partition=config.crash_partition,
+                                       crash_time_us=config.crash_time_us)
+        if events:
+            FaultScheduler(self.cluster, FaultPlan(events=tuple(events))).start()
 
 
 class RecoveryCoordinator:
@@ -58,12 +68,31 @@ class RecoveryCoordinator:
         self.cluster = cluster
         self.env = cluster.env
         self.stats = {"recoveries": 0, "rolled_back": 0}
+        self._in_progress: set[int] = set()
 
     def start(self) -> None:
         self.cluster.membership.on_failure(self._on_failure)
 
     def _on_failure(self, partition_id: int) -> None:
+        # Deduplicate: a fault-scheduled recovery (`trigger`) and the
+        # heartbeat monitor's failure notification can race to the same
+        # conclusion; whichever fires second must not start a second
+        # concurrent recovery for the partition.
+        if partition_id in self._in_progress:
+            return
+        self._in_progress.add(partition_id)
         self.env.process(self._recover(partition_id), name=f"recovery-p{partition_id}")
+
+    def trigger(self, partition_id: int) -> None:
+        """Explicitly recover a crashed partition (``recover`` fault events).
+
+        No-ops when the partition is up or a recovery for it is already in
+        flight, so a scheduled recovery composes safely with heartbeat-based
+        failure detection racing to the same conclusion.
+        """
+        if not self.cluster.servers[partition_id].crashed:
+            return
+        self._on_failure(partition_id)
 
     # -- the recovery sequence ------------------------------------------------------
     def _recover(self, partition_id: int) -> Generator:
@@ -131,6 +160,7 @@ class RecoveryCoordinator:
         if cluster.pause_event is not None and not cluster.pause_event.triggered:
             cluster.pause_event.succeed(None)
         cluster.pause_event = None
+        self._in_progress.discard(partition_id)
         cluster.counters.increment("recoveries_completed")
 
     def _redeliver_lost_writes(self, crashed_partition: int, agreed_watermark: float) -> int:

@@ -46,8 +46,10 @@ from typing import Any, Callable, Iterator, Mapping, Optional, Sequence
 
 __all__ = [
     "DURABILITY_REGISTRY",
+    "FAULT_REGISTRY",
     "FIGURE_REGISTRY",
     "PROTOCOL_REGISTRY",
+    "SCALE_REGISTRY",
     "WORKLOAD_REGISTRY",
     "DuplicateNameError",
     "Registry",
@@ -56,8 +58,10 @@ __all__ = [
     "RegistryNames",
     "UnknownNameError",
     "register_durability",
+    "register_fault",
     "register_figure",
     "register_protocol",
+    "register_scale",
     "register_workload",
     "suggestion_hint",
 ]
@@ -281,6 +285,17 @@ WORKLOAD_REGISTRY = Registry("workload", ensure_modules=("repro.workloads",))
 #: Benchmark figures.  Entry: a FigureSpec (``plan``/``render`` pair).
 FIGURE_REGISTRY = Registry("figure", ensure_modules=("repro.bench.experiments",))
 
+#: Fault-injection event types usable in a :class:`repro.faults.FaultPlan`.
+#: Entry: the fault-type class (``apply``/``revert`` staticmethods); metadata:
+#: ``params`` (required parameter names), ``windowed`` (whether a
+#: ``duration_us`` window is allowed) and ``requires_membership`` (whether the
+#: cluster must run its failure detector for this fault to resolve).
+FAULT_REGISTRY = Registry("fault type", ensure_modules=("repro.faults",))
+
+#: Run-size presets accepted by ``ScenarioSpec.scale`` and ``--scale``.
+#: Entry: the BenchScale instance itself.
+SCALE_REGISTRY = Registry("scale", ensure_modules=("repro.scales",))
+
 
 def register_protocol(name: str, *, default_durability: str = "coco",
                       description: str = "", replace: bool = False) -> Callable:
@@ -318,3 +333,60 @@ def register_figure(name: str, *, description: str = "",
                     replace: bool = False) -> Callable:
     """Decorator (or direct call via ``FIGURE_REGISTRY.register``) for figures."""
     return FIGURE_REGISTRY.register(name, replace=replace, description=description)
+
+
+#: FaultEvent field names a fault type's parameters must not collide with
+#: (event JSON documents flatten parameters next to these).
+_FAULT_RESERVED_FIELDS = frozenset({"kind", "at_us", "duration_us", "target"})
+
+
+def register_fault(name: str, *, params: Sequence[str] = (),
+                   windowed: bool = True, requires_membership: bool = False,
+                   description: str = "", replace: bool = False) -> Callable:
+    """Class decorator registering a fault-injection event type.
+
+    The class must expose ``apply(cluster, partition_id, params)`` and — when
+    ``windowed`` — ``revert(cluster, partition_id, params)`` staticmethods.
+    ``params`` names the required parameters of the fault (e.g. ``delay_us``);
+    they are validated eagerly when a :class:`repro.faults.FaultEvent` is
+    constructed.  ``requires_membership`` marks fault types (crashes) whose
+    resolution relies on the cluster's heartbeat-based failure detector.
+    """
+    collisions = _FAULT_RESERVED_FIELDS.intersection(params)
+    if collisions:
+        raise ValueError(
+            f"fault type {name!r} declares reserved parameter name(s) "
+            f"{', '.join(sorted(map(repr, collisions)))}"
+        )
+    return FAULT_REGISTRY.register(
+        name, replace=replace,
+        params=tuple(params), windowed=bool(windowed),
+        requires_membership=bool(requires_membership), description=description,
+    )
+
+
+def register_scale(scale: Any = None, *, replace: bool = False, description: str = ""):
+    """Register a :class:`repro.scales.BenchScale` preset under its own name.
+
+    Usable as a plain call (``register_scale(BenchScale(...))``) or as a
+    decorator on a zero-argument factory function whose result is registered::
+
+        @register_scale
+        def huge():
+            return BenchScale(name="huge", ...)
+
+    The new name is immediately accepted by ``ScenarioSpec.scale``,
+    ``repro.scales.resolve_scale`` and ``python -m repro.bench --scale``.
+    """
+    if scale is None:
+        def decorator(target):
+            register_scale(target, replace=replace, description=description)
+            return target
+        return decorator
+    if callable(scale) and not hasattr(scale, "name"):
+        produced = scale()
+        register_scale(produced, replace=replace, description=description)
+        return scale
+    SCALE_REGISTRY.register(scale.name, scale, replace=replace,
+                            description=description)
+    return scale

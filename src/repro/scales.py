@@ -2,10 +2,12 @@
 
 A :class:`BenchScale` bundles everything that makes a run bigger or smaller
 without changing its semantics: simulated duration, per-partition concurrency,
-and the population sizing of every registered workload.  Three figure-quality
-presets are exposed to the CLI (``small``/``medium``/``paper``); the extra
-``tiny`` preset is for tests and gates, where each cell must simulate in a
-fraction of a second.
+and the population sizing of every registered workload.  The presets are
+**registered** (:data:`repro.registry.SCALE_REGISTRY`): the built-in four
+(``tiny``/``small``/``medium``/``paper``) self-register below, and extensions
+add their own from one file with :func:`repro.registry.register_scale` — the
+new name is immediately accepted by ``ScenarioSpec.scale``, ``--scale`` and
+``--list scales``.  :data:`SCALES` is a live mapping view of the registry.
 
 This lives outside ``repro.bench`` so ``repro.scenario`` (which every bench
 entry point is built on) can import it without a cycle; ``repro.bench.runner``
@@ -15,6 +17,8 @@ re-exports the same names for existing call sites.
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+from .registry import SCALE_REGISTRY, register_scale
 
 __all__ = ["BenchScale", "SCALES", "TINY_SCALE", "resolve_scale", "sweep_values"]
 
@@ -40,7 +44,12 @@ class BenchScale:
     smallbank_accounts_per_partition: int = 20_000
 
 
-SCALES: dict[str, BenchScale] = {
+#: Live name -> BenchScale view of the scale registry.  Keeps every
+#: historical call site working (``SCALES["small"]``, ``sorted(SCALES)``,
+#: ``SCALES.values()``) while tracking externally registered presets.
+SCALES = SCALE_REGISTRY.as_mapping()
+
+_PRESETS = {
     "small": BenchScale(
         name="small",
         duration_us=20_000.0,
@@ -87,8 +96,9 @@ SCALES: dict[str, BenchScale] = {
 
 
 #: Tiny preset for tests and gates: each cell simulates in a fraction of a
-#: second.  Deliberately not in :data:`SCALES` so the CLI only offers the
-#: figure-quality presets, but :func:`resolve_scale` accepts it by name.
+#: second.  Registered like the figure-quality presets (so the CLI and
+#: scenario files accept ``"tiny"`` first-class) and also kept as a module
+#: constant for the test suite.
 TINY_SCALE = BenchScale(
     name="tiny",
     duration_us=6_000.0,
@@ -104,21 +114,27 @@ TINY_SCALE = BenchScale(
     smallbank_accounts_per_partition=500,
 )
 
+register_scale(TINY_SCALE, description="test/gate preset: fraction of a second per cell")
+for _name, _scale in _PRESETS.items():
+    register_scale(
+        _scale,
+        description=f"{_scale.duration_us / 1000.0:g} ms simulated, "
+                    f"{_scale.sweep_points} sweep points",
+    )
+del _name, _scale
+
 
 def resolve_scale(scale) -> BenchScale:
-    """Coerce a scale given by name, mapping, or instance into a BenchScale."""
+    """Coerce a scale given by name, mapping, or instance into a BenchScale.
+
+    Names are looked up in the scale registry, so externally registered
+    presets resolve everywhere built-ins do — and an unknown name raises the
+    registry's did-you-mean :class:`~repro.registry.UnknownNameError`.
+    """
     if isinstance(scale, BenchScale):
         return scale
     if isinstance(scale, str):
-        if scale == TINY_SCALE.name:
-            return TINY_SCALE
-        if scale in SCALES:
-            return SCALES[scale]
-        from .registry import unknown_name_error
-
-        raise unknown_name_error(
-            "scale", scale, tuple(sorted(SCALES)) + (TINY_SCALE.name,)
-        )
+        return SCALE_REGISTRY.get(scale)
     if isinstance(scale, dict):
         return BenchScale(**scale)
     raise TypeError(f"scale must be a name, dict or BenchScale, not {type(scale).__name__}")

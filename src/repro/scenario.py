@@ -42,6 +42,7 @@ from typing import Any, Iterable, Mapping, Optional
 from .cluster.cluster import Cluster
 from .cluster.config import SystemConfig
 from .cluster.results import RunResult
+from .faults import FaultPlan, compile_legacy_faults
 from .registry import (
     DURABILITY_REGISTRY,
     PROTOCOL_REGISTRY,
@@ -50,6 +51,7 @@ from .registry import (
 )
 from .scales import SCALES, BenchScale, resolve_scale
 from .workloads.base import Workload
+from .workloads.mixed import normalize_components
 
 __all__ = [
     "ScenarioSpec",
@@ -114,9 +116,14 @@ class ScenarioSpec:
 
     ``durability=None`` means "the protocol's default pairing" (registration
     metadata, §6.1.3).  ``scale`` accepts a preset name (``"small"``,
-    ``"tiny"``, …), a :class:`BenchScale`, or its dict form.  Override
-    mappings are frozen into sorted pairs so equal scenarios hash and
-    serialize identically regardless of how they were written.
+    ``"tiny"``, …), a :class:`BenchScale`, or its dict form.  ``workload``
+    accepts a registered name or a ``{name: weight}`` mapping — sugar for the
+    ``"mixed"`` composite workload.  ``faults`` is a declarative
+    :class:`~repro.faults.FaultPlan` (or a list of fault-event dicts) applied
+    deterministically by the cluster's fault scheduler; the two scalar
+    fault knobs below predate it and now compile onto the same path.
+    Override mappings are frozen into sorted pairs so equal scenarios hash
+    and serialize identically regardless of how they were written.
     """
 
     protocol: str
@@ -125,11 +132,13 @@ class ScenarioSpec:
     scale: BenchScale = SCALES["small"]
     config_overrides: tuple = ()
     workload_overrides: tuple = ()
-    #: (partition_id, delay_us) applied via ``durability.set_message_delay``
-    #: after the cluster is built (Fig. 13a's lagging control messages).
+    #: Declarative fault plan (``None`` = no injection).
+    faults: Optional[FaultPlan] = None
+    #: Legacy shim — (partition_id, delay_us); compiles to a zero-time
+    #: ``message_delay`` fault event (Fig. 13a's lagging control messages).
     durability_message_delay: Optional[tuple] = None
-    #: (partition_id, extra_delay_us) applied via ``network.set_extra_delay_to``
-    #: (Fig. 13b's slow partition).
+    #: Legacy shim — (partition_id, extra_delay_us); compiles to a zero-time
+    #: ``slow_partition`` fault event (Fig. 13b's slow partition).
     network_extra_delay_to: Optional[tuple] = None
 
     def __post_init__(self) -> None:
@@ -137,6 +146,20 @@ class ScenarioSpec:
             object.__setattr__(self, name, value)
 
         PROTOCOL_REGISTRY.check(self.protocol)
+        workload_overrides = self.workload_overrides
+        if isinstance(self.workload, Mapping):
+            # {name: weight} sugar for the "mixed" composite workload.
+            overrides = dict(workload_overrides or ())
+            if "components" in overrides:
+                raise ValueError(
+                    "workload mix given twice: a {name: weight} workload and "
+                    "a 'components' workload override"
+                )
+            overrides["components"] = [
+                [name, weight] for name, weight in self.workload.items()
+            ]
+            workload_overrides = overrides
+            set_field("workload", "mixed")
         workload_entry = WORKLOAD_REGISTRY.entry(self.workload)
         set_field("scale", resolve_scale(self.scale))
 
@@ -164,9 +187,22 @@ class ScenarioSpec:
         )
         set_field(
             "workload_overrides",
-            _freeze_overrides(self.workload_overrides, kind="workload",
+            _freeze_overrides(workload_overrides, kind="workload",
                               valid=workload_fields),
         )
+        if self.workload == "mixed":
+            # Eager mix validation: component names, weights and per-component
+            # knobs fail here — with did-you-mean hints — not inside a pool
+            # worker.  The canonical (sorted) component form is stored so
+            # equal mixes serialize and draw identically.
+            overrides = dict(self.workload_overrides)
+            overrides["components"] = normalize_components(
+                overrides.get("components", ()))
+            set_field(
+                "workload_overrides",
+                tuple((name, overrides[name]) for name in sorted(overrides)),
+            )
+        set_field("faults", FaultPlan.coerce(self.faults))
         set_field(
             "durability_message_delay",
             _freeze_delay("durability_message_delay", self.durability_message_delay),
@@ -201,6 +237,7 @@ class ScenarioSpec:
             "scale": dataclasses.asdict(self.scale),
             "config_overrides": {name: plain(v) for name, v in self.config_overrides},
             "workload_overrides": {name: plain(v) for name, v in self.workload_overrides},
+            "faults": self.faults.to_json_list() if self.faults is not None else None,
             "durability_message_delay": plain(self.durability_message_delay),
             "network_extra_delay_to": plain(self.network_extra_delay_to),
         }
@@ -248,6 +285,9 @@ class ScenarioSpec:
         remainder = {k: v for k, v in changes.items() if k not in spec_fields}
 
         workload = replacements.get("workload", self.workload)
+        if isinstance(workload, Mapping):
+            # A {name: weight} mix axis; validated fully by the new spec.
+            workload = "mixed"
         workload_fields = tuple(
             f.name
             for f in fields(WORKLOAD_REGISTRY.entry(workload).metadata["config_cls"])
@@ -295,7 +335,12 @@ def sweep(base: ScenarioSpec, **axes: Iterable) -> list[ScenarioSpec]:
 
         sweep(base, protocol=["primo", "sundial"], zipf_theta=[0.0, 0.6, 0.9])
 
-    returns 6 validated specs, protocol-major (last axis fastest).
+    returns 6 validated specs, protocol-major (last axis fastest).  Fault
+    plans and workload mixes are ordinary axes::
+
+        sweep(base,
+              faults=[None, [{"kind": "crash", "at_us": 40_000, "target": 1}]],
+              workload=[{"ycsb": 1.0}, {"ycsb": 0.7, "tatp": 0.3}])
     """
     names = list(axes)
     value_lists = [list(axes[name]) for name in names]
@@ -313,11 +358,17 @@ def sweep(base: ScenarioSpec, **axes: Iterable) -> list[ScenarioSpec]:
 # ---------------------------------------------------------------------------
 
 def build_workload(scale, workload: str = "ycsb", **overrides) -> Workload:
-    """Construct a registered workload with the scale's sizing defaults applied."""
+    """Construct a registered workload with the scale's sizing defaults applied.
+
+    A registration may map a config field to the sentinel scale attribute
+    ``"__scale__"`` to receive the whole resolved scale (in dict form) —
+    composite workloads use it to size their components.
+    """
     scale = resolve_scale(scale)
     entry = WORKLOAD_REGISTRY.entry(workload)
     params = {
-        config_field: getattr(scale, scale_attr)
+        config_field: (dataclasses.asdict(scale) if scale_attr == "__scale__"
+                       else getattr(scale, scale_attr))
         for config_field, scale_attr in entry.metadata["scale_defaults"].items()
     }
     params.update(overrides)
@@ -331,8 +382,9 @@ def build(spec: ScenarioSpec) -> Cluster:
     The single assembly path shared by ``repro.run``, ``run_config`` and the
     orchestrator's cell executor: scale presets fill any config knob the spec
     does not override, the protocol's default durability pairing applies
-    unless the spec names a scheme, and the failure-injection delays are
-    installed on the finished cluster.
+    unless the spec names a scheme, and the fault plan — including the
+    legacy scalar knobs, which compile to zero-time fault events — is handed
+    to the cluster's deterministic fault scheduler.
     """
     scale = spec.scale
     overrides = dict(spec.config_overrides)
@@ -344,14 +396,16 @@ def build(spec: ScenarioSpec) -> Cluster:
         overrides["durability"] = spec.durability
     config = SystemConfig.for_protocol(spec.protocol, **overrides)
     workload = build_workload(scale, spec.workload, **dict(spec.workload_overrides))
-    cluster = Cluster(config, workload)
-    if spec.durability_message_delay is not None:
-        partition, delay_us = spec.durability_message_delay
-        cluster.durability.set_message_delay(partition, delay_us)
-    if spec.network_extra_delay_to is not None:
-        partition, delay_us = spec.network_extra_delay_to
-        cluster.network.set_extra_delay_to(partition, delay_us)
-    return cluster
+    shimmed = compile_legacy_faults(
+        durability_message_delay=spec.durability_message_delay,
+        network_extra_delay_to=spec.network_extra_delay_to,
+    )
+    plan = spec.faults if spec.faults is not None else FaultPlan()
+    if shimmed:
+        # Legacy knobs apply before the plan's own zero-time events, matching
+        # the pre-plan application point (right after cluster construction).
+        plan = FaultPlan(events=tuple(shimmed)).extend(plan.events)
+    return Cluster(config, workload, faults=plan)
 
 
 def run(spec: ScenarioSpec) -> RunResult:

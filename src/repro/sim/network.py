@@ -98,13 +98,23 @@ class Network:
         )
 
     def set_extra_delay_from(self, node_id: int, delay_us: float) -> None:
-        """Add ``delay_us`` to every message originating at ``node_id``."""
-        self._extra_delay_from[node_id] = float(delay_us)
+        """Add ``delay_us`` to every message originating at ``node_id``.
+
+        A zero delay clears the injection (fault windows revert through here),
+        so the no-faults latency fast path re-engages once nothing is injected.
+        """
+        if delay_us:
+            self._extra_delay_from[node_id] = float(delay_us)
+        else:
+            self._extra_delay_from.pop(node_id, None)
         self._refresh_fault_flag()
 
     def set_extra_delay_to(self, node_id: int, delay_us: float) -> None:
-        """Add ``delay_us`` to every message destined to ``node_id``."""
-        self._extra_delay_to[node_id] = float(delay_us)
+        """Add ``delay_us`` to every message destined to ``node_id`` (0 clears)."""
+        if delay_us:
+            self._extra_delay_to[node_id] = float(delay_us)
+        else:
+            self._extra_delay_to.pop(node_id, None)
         self._refresh_fault_flag()
 
     def set_unreachable(self, node_id: int, unreachable: bool = True) -> None:

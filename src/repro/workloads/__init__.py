@@ -1,6 +1,7 @@
-"""OLTP workloads: YCSB, TPC-C, TATP and Smallbank."""
+"""OLTP workloads: YCSB, TPC-C, TATP, Smallbank — and weighted mixes of them."""
 
 from .base import TransactionSpec, TxnSource, Workload
+from .mixed import MixedConfig, MixedWorkload
 from .smallbank import SmallbankConfig, SmallbankWorkload
 from .tatp import TATPConfig, TATPWorkload
 from .tpcc import TPCCConfig, TPCCWorkload
@@ -10,6 +11,8 @@ __all__ = [
     "TransactionSpec",
     "TxnSource",
     "Workload",
+    "MixedConfig",
+    "MixedWorkload",
     "SmallbankConfig",
     "SmallbankWorkload",
     "TATPConfig",

@@ -1,0 +1,176 @@
+"""Composite workload: blend registered workloads by weight.
+
+``MixedWorkload`` registers under the name ``"mixed"`` like any other
+workload, so a weighted blend is just another scenario axis::
+
+    spec = repro.ScenarioSpec(
+        protocol="primo",
+        workload={"ycsb": 0.7, "tatp": 0.3},   # sugar for workload="mixed"
+        scale="small",
+    )
+
+or, spelled out (the JSON-file form)::
+
+    {"workload": "mixed",
+     "workload_overrides": {"components": [["ycsb", 0.7], ["tatp", 0.3]]}}
+
+Each component is ``[name, weight]`` or ``[name, weight, [[knob, value], ...]]``
+with the knobs validated against that component's registered config dataclass
+— eagerly, with did-you-mean hints, when the scenario is constructed.
+
+Determinism: every worker fiber owns one *selector* stream (derived from the
+run seed, the composite's name, partition and stream via ``stable_hash``) and
+one sub-stream per component (each derived from that component workload's own
+name).  The selector consumes exactly one uniform per transaction to pick the
+component, and the chosen component's stream produces the transaction — so
+draws are reproducible across interpreter processes and pool workers, and
+adding a component never perturbs the other components' key sequences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+from ..registry import WORKLOAD_REGISTRY, register_workload, suggestion_hint
+from ..scales import resolve_scale
+from .base import TransactionSpec, TxnSource, Workload
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster.cluster import Cluster
+
+__all__ = ["MixedConfig", "MixedWorkload", "MixedSource", "normalize_components"]
+
+
+def normalize_components(components) -> tuple:
+    """Validate and canonicalize a component listing.
+
+    Accepts ``{name: weight}`` mappings or sequences of ``(name, weight)`` /
+    ``(name, weight, overrides)`` entries (overrides as a mapping or pairs).
+    Returns sorted-by-name ``(name, weight, ((knob, value), ...))`` tuples —
+    the stored form is order-insensitive so equal mixes hash, serialize and
+    *draw* identically regardless of how they were written.
+    """
+    if isinstance(components, Mapping):
+        components = [(name, weight) for name, weight in components.items()]
+    if not isinstance(components, Sequence) or isinstance(components, str):
+        raise TypeError(
+            f"mixed-workload components must be a mapping or a list, got "
+            f"{type(components).__name__}"
+        )
+    if not components:
+        raise ValueError("mixed workload needs at least one component")
+
+    normalized = []
+    seen = set()
+    for entry in components:
+        if not isinstance(entry, Sequence) or isinstance(entry, str) or not 2 <= len(entry) <= 3:
+            raise ValueError(
+                f"mixed component must be [name, weight] or "
+                f"[name, weight, overrides], got {entry!r}"
+            )
+        name, weight = entry[0], entry[1]
+        overrides = entry[2] if len(entry) == 3 else ()
+        if name == "mixed":
+            raise ValueError("mixed workloads cannot nest another 'mixed'")
+        workload_entry = WORKLOAD_REGISTRY.entry(name)
+        if name in seen:
+            raise ValueError(f"mixed component {name!r} listed twice")
+        seen.add(name)
+        weight = float(weight)
+        if not weight > 0.0:
+            raise ValueError(f"mixed component {name!r} needs a positive weight, got {weight}")
+        if isinstance(overrides, Mapping):
+            overrides = tuple(overrides.items())
+        pairs = []
+        valid = tuple(f.name for f in fields(workload_entry.metadata["config_cls"]))
+        for pair in overrides:
+            knob, value = pair
+            if knob not in valid:
+                raise ValueError(
+                    f"unknown override {knob!r} for mixed component {name!r}"
+                    f"{suggestion_hint(str(knob), valid)}; valid keys: "
+                    f"{', '.join(valid)}"
+                )
+            pairs.append((knob, value))
+        normalized.append((name, weight, tuple(sorted(pairs))))
+    normalized.sort(key=lambda item: item[0])
+    return tuple(normalized)
+
+
+@dataclass
+class MixedConfig:
+    """Component listing plus the scale used to size each component's tables.
+
+    ``scale`` is filled automatically by ``repro.scenarios.build_workload``
+    (registration metadata ``scale_defaults={"scale": "__scale__"}`` passes
+    the resolved scale's dict form through), so component populations track
+    ``--scale`` exactly like standalone workloads.
+    """
+
+    components: tuple = ()
+    scale: object = "small"
+
+    def validate(self) -> None:
+        self.components = normalize_components(self.components)
+        self.scale = resolve_scale(self.scale)
+
+
+@register_workload(
+    "mixed",
+    config_cls=MixedConfig,
+    scale_defaults={"scale": "__scale__"},
+    description="weighted blend of registered workloads "
+                "(components=[[name, weight, overrides?], ...])",
+)
+class MixedWorkload(Workload):
+    name = "mixed"
+
+    def __init__(self, config: MixedConfig | None = None):
+        self.config = config or MixedConfig()
+        self.config.validate()
+        # Sub-workloads are built through the same scale-defaults machinery a
+        # standalone spec would use (imported lazily: scenario imports this
+        # module's siblings at startup).
+        from ..scenario import build_workload
+
+        self.components = tuple(
+            (name, weight, build_workload(self.config.scale, name, **dict(pairs)))
+            for name, weight, pairs in self.config.components
+        )
+        self.name = "mixed(" + "+".join(
+            f"{name}:{weight:g}" for name, weight, _ in self.components
+        ) + ")"
+        self._total_weight = sum(weight for _, weight, _ in self.components)
+
+    # -- loading ------------------------------------------------------------------
+    def load(self, cluster: "Cluster") -> None:
+        for _, _, workload in self.components:
+            workload.load(cluster)
+
+    # -- transaction streams --------------------------------------------------------
+    def make_source(self, cluster: "Cluster", partition_id: int, stream_id: int) -> "MixedSource":
+        selector = self.rng(cluster, partition_id, stream_id)
+        cumulative = []
+        upto = 0.0
+        for name, weight, workload in self.components:
+            upto += weight
+            cumulative.append((upto, workload.make_source(cluster, partition_id, stream_id)))
+        return MixedSource(selector, cumulative, self._total_weight)
+
+
+class MixedSource(TxnSource):
+    """One uniform draw picks the component; the component produces the txn."""
+
+    def __init__(self, selector, cumulative, total_weight: float):
+        self._random = selector.random
+        self._cumulative = cumulative
+        self._total = total_weight
+
+    def next(self) -> TransactionSpec:
+        u = self._random() * self._total
+        for upto, source in self._cumulative:
+            if u < upto:
+                return source.next()
+        # u == total after float scaling: the last component wins.
+        return self._cumulative[-1][1].next()

@@ -86,7 +86,9 @@ def test_builtin_registries_hold_the_papers_implementations():
         "primo", "2pl_nw", "2pl_wd", "silo", "sundial", "aria", "tapir",
     }
     assert set(DURABILITY_REGISTRY.names()) == {"wm", "coco", "clv", "sync", "none"}
-    assert set(WORKLOAD_REGISTRY.names()) == {"ycsb", "tpcc", "tatp", "smallbank"}
+    assert set(WORKLOAD_REGISTRY.names()) == {
+        "ycsb", "tpcc", "tatp", "smallbank", "mixed",
+    }
     assert {f"fig{i:02d}" for i in range(4, 16)} <= set(FIGURE_REGISTRY.names())
     # The historical tuple views are backed by the registries.
     assert tuple(PROTOCOLS) == PROTOCOL_REGISTRY.names()

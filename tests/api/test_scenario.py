@@ -190,7 +190,18 @@ def test_build_applies_scale_defaults_and_failure_knobs():
     assert cluster.config.duration_us == TINY_SCALE.duration_us
     assert cluster.config.workers_per_partition == TINY_SCALE.workers_per_partition
     assert cluster.workload.config.keys_per_partition == TINY_SCALE.ycsb_keys_per_partition
+    # The legacy knob compiles to a zero-time slow_partition fault event,
+    # installed when the cluster starts (before the first simulation event).
+    [event] = cluster.fault_plan.events
+    assert (event.kind, event.target, dict(event.params)) == (
+        "slow_partition", 1, {"delay_us": 200.0})
+    cluster.start()
     assert cluster.network._extra_delay_to[1] == 200.0
+
+
+#: The composite workload has no default components; every pair gets the
+#: overrides its workload needs to construct.
+_PAIR_OVERRIDES = {"mixed": {"components": [["ycsb", 0.7], ["tatp", 0.3]]}}
 
 
 @pytest.mark.parametrize("protocol", sorted(PROTOCOL_REGISTRY.names()))
@@ -198,10 +209,13 @@ def test_build_applies_scale_defaults_and_failure_knobs():
 def test_run_spec_matches_run_config_bit_identically(protocol, workload):
     """Acceptance: repro.run(ScenarioSpec(...)) == run_config(...) for every
     registered (protocol × workload) pair at TINY_SCALE."""
+    workload_overrides = _PAIR_OVERRIDES.get(workload, {})
     spec = ScenarioSpec(protocol=protocol, workload=workload, scale=TINY_SCALE,
+                        workload_overrides=workload_overrides,
                         config_overrides={"n_partitions": 2})
     via_facade = repro.run(spec)
-    via_runner = run_config(protocol, TINY_SCALE, workload=workload, n_partitions=2)
+    via_runner = run_config(protocol, TINY_SCALE, workload=workload,
+                            workload_overrides=workload_overrides, n_partitions=2)
     assert fingerprint(via_facade) == fingerprint(via_runner)
     assert via_facade.durability == via_runner.durability == spec.resolved_durability
 

@@ -6,28 +6,23 @@ import json
 
 import pytest
 
-from repro.bench import runner
 from repro.bench.__main__ import main
 from repro.bench.runner import TINY_SCALE
 
 TEST_SCALE = TINY_SCALE
 
-
-@pytest.fixture
-def tiny_scale(monkeypatch):
-    """Expose the test scale to the CLI as ``--scale tiny``."""
-    monkeypatch.setitem(runner.SCALES, "tiny", TEST_SCALE)
-    return "tiny"
+#: The CLI name of the test scale — "tiny" is registered first-class now.
+TINY = "tiny"
 
 
 def run_cli(*argv: str) -> int:
     return main(list(argv))
 
 
-def test_cli_runs_a_single_figure_and_emits_json(tiny_scale, tmp_path, capsys):
+def test_cli_runs_a_single_figure_and_emits_json(tmp_path, capsys):
     artifact = tmp_path / "figures.json"
     code = run_cli(
-        "--only", "fig09", "--scale", tiny_scale,
+        "--only", "fig09", "--scale", TINY,
         "--jobs", "2",
         "--cache-dir", str(tmp_path / "cache"),
         "--emit-json", str(artifact),
@@ -45,11 +40,11 @@ def test_cli_runs_a_single_figure_and_emits_json(tiny_scale, tmp_path, capsys):
     assert len(fig09["primo"]) == len(fig09["ratios"]) == TEST_SCALE.sweep_points
 
 
-def test_cli_second_invocation_resumes_from_cache(tiny_scale, tmp_path):
+def test_cli_second_invocation_resumes_from_cache(tmp_path):
     cache_dir = str(tmp_path / "cache")
     first = tmp_path / "first.json"
     second = tmp_path / "second.json"
-    args = ("--only", "fig09", "--scale", tiny_scale, "--cache-dir", cache_dir,
+    args = ("--only", "fig09", "--scale", TINY, "--cache-dir", cache_dir,
             "--quiet-progress")
     assert run_cli(*args, "--emit-json", str(first)) == 0
     assert run_cli(*args, "--emit-json", str(second)) == 0
@@ -63,11 +58,11 @@ def test_cli_second_invocation_resumes_from_cache(tiny_scale, tmp_path):
     assert warm["figures"] == cold["figures"]
 
 
-def test_cli_no_cache_skips_the_cache_entirely(tiny_scale, tmp_path):
+def test_cli_no_cache_skips_the_cache_entirely(tmp_path):
     cache_dir = tmp_path / "cache"
     artifact = tmp_path / "figures.json"
     code = run_cli(
-        "--only", "fig09", "--scale", tiny_scale,
+        "--only", "fig09", "--scale", TINY,
         "--cache-dir", str(cache_dir), "--no-cache",
         "--emit-json", str(artifact), "--quiet-progress",
     )
@@ -76,15 +71,15 @@ def test_cli_no_cache_skips_the_cache_entirely(tiny_scale, tmp_path):
     assert json.loads(artifact.read_text())["meta"]["cells_cached"] == 0
 
 
-def test_cli_only_is_an_alias_for_figure(tiny_scale, tmp_path, capsys):
-    code = run_cli("--figure", "appendix", "--scale", tiny_scale,
+def test_cli_only_is_an_alias_for_figure(tmp_path, capsys):
+    code = run_cli("--figure", "appendix", "--scale", TINY,
                    "--cache-dir", str(tmp_path / "cache"), "--quiet-progress")
     assert code == 0
     assert "Appendix A" in capsys.readouterr().out
 
 
-def test_cli_rejects_bad_jobs_and_unknown_figures(tiny_scale, tmp_path):
+def test_cli_rejects_bad_jobs_and_unknown_figures(tmp_path):
     with pytest.raises(SystemExit):
-        run_cli("--jobs", "0", "--scale", tiny_scale)
+        run_cli("--jobs", "0", "--scale", TINY)
     with pytest.raises(SystemExit):
-        run_cli("--only", "fig99", "--scale", tiny_scale)
+        run_cli("--only", "fig99", "--scale", TINY)

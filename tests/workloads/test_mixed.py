@@ -1,0 +1,137 @@
+"""Tests of the composite MixedWorkload and the scenario-level mix sugar."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import MixedConfig, MixedWorkload, ScenarioSpec
+from repro.bench.orchestrator import Cell, run_cells
+from repro.registry import UnknownNameError
+from repro.scales import SCALES, TINY_SCALE
+from repro.workloads.mixed import normalize_components
+
+from tests.api.test_scenario import fingerprint
+
+MIX = {"ycsb": 0.7, "tatp": 0.3}
+
+
+def mixed_spec(**changes) -> ScenarioSpec:
+    base = ScenarioSpec(protocol="primo", workload=MIX, scale="tiny",
+                        config_overrides={"n_partitions": 2})
+    return base.derive(**changes) if changes else base
+
+
+# ---------------------------------------------------------------------------
+# Spec-level sugar and eager validation
+# ---------------------------------------------------------------------------
+
+def test_mapping_workload_is_sugar_for_mixed_components():
+    via_mapping = mixed_spec()
+    via_components = ScenarioSpec(
+        protocol="primo", workload="mixed", scale="tiny",
+        workload_overrides={"components": [["ycsb", 0.7], ["tatp", 0.3]]},
+        config_overrides={"n_partitions": 2})
+    assert via_mapping.workload == "mixed"
+    assert via_mapping == via_components
+    assert via_mapping.canonical_json() == via_components.canonical_json()
+
+
+def test_component_order_does_not_change_the_scenario_identity():
+    a = ScenarioSpec(protocol="primo", workload={"ycsb": 0.7, "tatp": 0.3})
+    b = ScenarioSpec(protocol="primo", workload={"tatp": 0.3, "ycsb": 0.7})
+    assert a == b and a.canonical_json() == b.canonical_json()
+
+
+def test_mix_validation_is_eager_with_suggestions():
+    with pytest.raises(UnknownNameError, match="did you mean 'tatp'"):
+        ScenarioSpec(protocol="primo", workload={"ycsb": 0.5, "tapt": 0.5})
+    with pytest.raises(ValueError, match="positive weight"):
+        ScenarioSpec(protocol="primo", workload={"ycsb": 0.0})
+    with pytest.raises(ValueError, match="cannot nest"):
+        ScenarioSpec(protocol="primo", workload={"mixed": 1.0})
+    with pytest.raises(ValueError, match="at least one component"):
+        ScenarioSpec(protocol="primo", workload="mixed")
+    with pytest.raises(ValueError, match="given twice"):
+        ScenarioSpec(protocol="primo", workload={"ycsb": 1.0},
+                     workload_overrides={"components": [["tatp", 1.0]]})
+
+
+def test_component_overrides_are_validated_against_each_component():
+    with pytest.raises(ValueError, match="did you mean 'zipf_theta'"):
+        ScenarioSpec(
+            protocol="primo", workload="mixed",
+            workload_overrides={"components": [["ycsb", 1.0, [["zipf_thta", 0.9]]]]})
+    spec = ScenarioSpec(
+        protocol="primo", workload="mixed", scale="tiny",
+        workload_overrides={"components": [["ycsb", 1.0, [["zipf_theta", 0.9]]]]})
+    cluster = repro.build(spec)
+    [(name, weight, sub)] = cluster.workload.components
+    assert (name, weight) == ("ycsb", 1.0)
+    assert sub.config.zipf_theta == 0.9
+
+
+def test_duplicate_components_are_rejected():
+    with pytest.raises(ValueError, match="listed twice"):
+        normalize_components([["ycsb", 0.5], ["ycsb", 0.5]])
+
+
+# ---------------------------------------------------------------------------
+# Scale sizing and construction
+# ---------------------------------------------------------------------------
+
+def test_component_populations_track_the_scale():
+    for scale in [TINY_SCALE, SCALES["small"]]:
+        workload = repro.scenarios.build_workload(scale, "mixed",
+                                                  components=[["ycsb", 1.0],
+                                                              ["tatp", 1.0]])
+        by_name = {name: sub for name, _, sub in workload.components}
+        assert by_name["ycsb"].config.keys_per_partition == scale.ycsb_keys_per_partition
+        assert (by_name["tatp"].config.subscribers_per_partition
+                == scale.tatp_subscribers_per_partition)
+
+
+def test_direct_construction_defaults_to_small_scale():
+    workload = MixedWorkload(MixedConfig(components=[["ycsb", 1.0]]))
+    [(_, _, sub)] = workload.components
+    assert sub.config.keys_per_partition == SCALES["small"].ycsb_keys_per_partition
+    assert workload.name == "mixed(ycsb:1)"
+
+
+# ---------------------------------------------------------------------------
+# Deterministic draws
+# ---------------------------------------------------------------------------
+
+def test_mixed_run_commits_both_components_roughly_by_weight():
+    result = repro.run(mixed_spec())
+    ycsb = result.per_txn_type.get("ycsb", 0)
+    tatp = sum(count for name, count in result.per_txn_type.items()
+               if name.startswith("tatp"))
+    assert ycsb > 0 and tatp > 0
+    share = ycsb / (ycsb + tatp)
+    assert 0.5 < share < 0.9  # ~0.7 expected, loose bound for a tiny run
+
+
+def test_mixed_draws_are_deterministic_within_a_process():
+    assert fingerprint(repro.run(mixed_spec())) == fingerprint(repro.run(mixed_spec()))
+
+
+def test_mixed_draws_are_deterministic_across_processes():
+    """Acceptance: a pool worker (fresh interpreter state on spawn platforms,
+    forked here) reproduces the inline mixed-workload run bit-identically."""
+    spec = mixed_spec()
+    cells = [Cell(figure="mix", key="inline", spec=spec)]
+    inline = run_cells(cells, jobs=1, cache=None).results[cells[0]]
+    pooled = run_cells(cells, jobs=2, cache=None).results[cells[0]]
+    assert fingerprint(pooled) == fingerprint(inline)
+
+
+def test_adding_a_component_does_not_perturb_other_streams_seed_derivation():
+    """Component sub-streams derive from each component's own name, so the
+    70/30 and 50/50 mixes draw *different* schedules (selector changes) but
+    both remain reproducible."""
+    seventy = repro.run(mixed_spec())
+    fifty = repro.run(mixed_spec(workload={"ycsb": 0.5, "tatp": 0.5}))
+    assert fingerprint(seventy) != fingerprint(fifty)
+    again = repro.run(mixed_spec(workload={"ycsb": 0.5, "tatp": 0.5}))
+    assert fingerprint(fifty) == fingerprint(again)
