@@ -26,7 +26,11 @@ objects (``Cluster``, ``SystemConfig``, workload classes) remain available
 for code that wants to assemble a cluster by hand.
 """
 
-__version__ = "1.2.0"
+# 1.3.0: transaction-pipeline perf overhaul (batched wakeups, zero-alloc
+# send path, cheap stats).  Fixed-seed metrics are bit-identical, but the
+# serialized latency-sample *order* inside cached RunResults can differ from
+# pre-1.3 entries, so the version bump retires old orchestrator caches.
+__version__ = "1.3.0"
 
 from .cluster import Cluster, RunResult, Server, SystemConfig
 from .cluster.config import DURABILITY_SCHEMES, PROTOCOLS

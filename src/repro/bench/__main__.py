@@ -21,6 +21,7 @@ import argparse
 import json
 import sys
 import time
+from pathlib import Path
 
 from ..registry import (
     DURABILITY_REGISTRY,
@@ -111,12 +112,13 @@ def _load_scenarios(path: str, parser: argparse.ArgumentParser) -> list[Scenario
     return specs
 
 
-def _run_scenarios(specs: list[ScenarioSpec], args, cache, progress) -> int:
+def _run_scenarios(specs: list[ScenarioSpec], args, cache, progress, profile_dir=None) -> int:
     cells = [
         Cell(figure="scenario", key=f"#{i}", spec=spec)
         for i, spec in enumerate(specs)
     ]
-    outcome = run_cells(cells, jobs=args.jobs, cache=cache, progress=progress)
+    outcome = run_cells(cells, jobs=args.jobs, cache=cache, progress=progress,
+                        profile_dir=profile_dir)
     rows = []
     for cell in cells:
         result = outcome.results[cell]
@@ -212,6 +214,13 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="suppress per-cell progress lines on stderr",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run every executed cell under cProfile and dump per-cell "
+             ".pstats files into <cache-dir>/profiles/ (cached cells are "
+             "not profiled; combine with --no-cache to profile everything)",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
@@ -221,6 +230,11 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     cache = NullCache() if args.no_cache else ResultCache(args.cache_dir)
+    profile_dir = None
+    if args.profile:
+        # Profiles live next to the cached results they were measured for.
+        profile_dir = str(Path(args.cache_dir) / "profiles")
+        print(f"[bench] profiling executed cells into {profile_dir}", file=sys.stderr)
     progress = None
     if not args.quiet_progress:
         def progress(message: str) -> None:
@@ -237,7 +251,8 @@ def main(argv: list[str] | None = None) -> int:
                 "--scale does not apply to --scenario (set \"scale\" inside "
                 "the scenario file)"
             )
-        return _run_scenarios(_load_scenarios(args.scenario, parser), args, cache, progress)
+        return _run_scenarios(_load_scenarios(args.scenario, parser), args, cache,
+                              progress, profile_dir)
 
     # Validate figure names through the registry so a typo gets the same
     # did-you-mean treatment as a typo'd protocol in a ScenarioSpec.
@@ -254,7 +269,8 @@ def main(argv: list[str] | None = None) -> int:
     all_cells = [cell for name in figure_names for cell in plans[name]]
 
     start = time.perf_counter()
-    outcome = run_cells(all_cells, jobs=args.jobs, cache=cache, progress=progress)
+    outcome = run_cells(all_cells, jobs=args.jobs, cache=cache, progress=progress,
+                        profile_dir=profile_dir)
     wall_s = time.perf_counter() - start
 
     figure_data = {}

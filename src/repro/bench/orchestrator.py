@@ -152,14 +152,41 @@ def make_cell(
     )
 
 
-def execute_cell(cell: Cell) -> RunResult:
-    """Run one cell's simulation to completion (in the current process)."""
-    return _run_scenario(cell.spec)
+def execute_cell(cell: Cell, profile_dir: Optional[str] = None) -> RunResult:
+    """Run one cell's simulation to completion (in the current process).
+
+    With ``profile_dir`` set, the run executes under :mod:`cProfile` and the
+    raw stats are dumped to ``<profile_dir>/<figure>-<key>-<hash>.pstats``
+    (loadable with ``pstats.Stats`` or snakeviz) — the ``--profile`` flag of
+    ``python -m repro.bench`` plumbs through here for both inline and pooled
+    execution.
+    """
+    if profile_dir is None:
+        return _run_scenario(cell.spec)
+    import cProfile
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = _run_scenario(cell.spec)
+    finally:
+        profiler.disable()
+    profiler.dump_stats(_profile_path(profile_dir, cell))
+    return result
 
 
-def _pool_execute(cell: Cell) -> dict:
+def _profile_path(profile_dir: str, cell: Cell) -> str:
+    directory = Path(profile_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    safe_key = "".join(
+        ch if ch.isalnum() or ch in "._-" else "_" for ch in cell.key
+    )
+    return str(directory / f"{cell.figure}-{safe_key}-{cell.cache_key()[:8]}.pstats")
+
+
+def _pool_execute(cell: Cell, profile_dir: Optional[str] = None) -> dict:
     """Pool-worker entry point: run a cell, ship the result back as JSON."""
-    return execute_cell(cell).to_json_dict()
+    return execute_cell(cell, profile_dir=profile_dir).to_json_dict()
 
 
 class ResultCache:
@@ -248,13 +275,16 @@ def run_cells(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     progress: Optional[Callable[[str], None]] = None,
+    profile_dir: Optional[str] = None,
 ) -> SweepOutcome:
     """Execute every cell, using the cache and up to ``jobs`` processes.
 
     Identical specs (same cache key) are simulated once and shared.  With
     ``jobs <= 1`` everything runs inline in this process; either way each
     result is normalized through the JSON round-trip so inline, pooled and
-    cached executions are indistinguishable.
+    cached executions are indistinguishable.  ``profile_dir`` turns on
+    per-cell :mod:`cProfile` dumps (see :func:`execute_cell`) — cached cells
+    produce no profile because nothing simulates.
     """
     cache = cache if cache is not None else NullCache()
     notify = progress or (lambda message: None)
@@ -281,14 +311,14 @@ def run_cells(
     if pending and jobs <= 1:
         for cache_key, cell in pending:
             notify(f"running    {cell.cell_id}")
-            result_json = execute_cell(cell).to_json_dict()
+            result_json = execute_cell(cell, profile_dir=profile_dir).to_json_dict()
             cache.put(cell, result_json)
             resolved[cache_key] = RunResult.from_json_dict(result_json)
             outcome.executed += 1
     elif pending:
         with ProcessPoolExecutor(max_workers=jobs) as pool:
             futures = {
-                pool.submit(_pool_execute, cell): (cache_key, cell)
+                pool.submit(_pool_execute, cell, profile_dir): (cache_key, cell)
                 for cache_key, cell in pending
             }
             notify(

@@ -5,8 +5,13 @@ fiber repeatedly takes the next transaction from its workload stream, drives
 it through the cluster's protocol with exponential back-off on aborts
 (§6.1.3), hands the committed transaction to the durability scheme, and —
 without blocking on the group commit — moves on to the next transaction.  A
-separate completion fiber waits for the durability event so latency includes
-the ``return`` component without stalling the execution pipeline.
+completion *callback* (one slotted object per committed transaction, attached
+straight to the durability event) records end-to-end latency once the result
+is durable, so latency includes the ``return`` component without stalling the
+execution pipeline.  The durability schemes wake whole batches of these
+callbacks through one shared fast-lane notify
+(:meth:`~repro.sim.engine.Environment.succeed_all`): a group commit releasing
+``k`` transactions costs one scheduled event, not ``k`` process resumptions.
 """
 
 from __future__ import annotations
@@ -25,12 +30,45 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["worker_loop"]
 
 
+class _Completion:
+    """Durability-event callback recording one transaction's completion.
+
+    Replaces the old per-transaction ``_await_durability`` fiber: attaching a
+    callback costs one slotted object, where spawning a process cost a
+    generator frame, a Process event and a fast-lane kick-off event — all on
+    the per-commit path.
+    """
+
+    __slots__ = ("cluster", "server", "txn")
+
+    def __init__(self, cluster: "Cluster", server: "Server", txn):
+        self.cluster = cluster
+        self.server = server
+        self.txn = txn
+
+    def __call__(self, event) -> None:
+        cluster = self.cluster
+        txn = self.txn
+        txn.durable_time = cluster.env.now
+        txn.add_breakdown("return", max(0.0, txn.durable_time - txn.commit_end_time))
+        if event._value == DURABLE:
+            cluster.record_durable(self.server, txn)
+        else:
+            cluster.record_crash_abort(self.server, txn)
+
+
 def worker_loop(cluster: "Cluster", server: "Server", source: "TxnSource") -> Generator:
     """The closed-loop driver for one worker fiber."""
     config = cluster.config
     protocol = cluster.protocol
     durability = cluster.durability
     env = cluster.env
+    # Bound-method hoists for the per-attempt loop body.
+    next_spec = source.next
+    new_transaction = server.new_transaction
+    run_transaction = protocol.run_transaction
+    timeout = env.timeout
+    max_retries = config.max_retries
 
     while not cluster.stopped:
         if server.crashed:
@@ -46,23 +84,23 @@ def worker_loop(cluster: "Cluster", server: "Server", source: "TxnSource") -> Ge
             yield gate
             continue
 
-        spec = source.next()
-        first_start = env.now
+        spec = next_spec()
+        first_start = env._now
         backoff_us = config.backoff_initial_us
         total_backoff = 0.0
 
-        for _attempt in range(config.max_retries):
+        for _attempt in range(max_retries):
             if cluster.stopped or server.crashed:
                 break
             if cluster.pause_event is not None and not cluster.pause_event.triggered:
                 yield cluster.pause_event
-            txn = server.new_transaction(spec.name)
+            txn = new_transaction(spec.name)
             txn.first_start_time = first_start
             txn.read_only = spec.read_only
-            txn.start_time = env.now
+            txn.start_time = env._now
             durability.transaction_begin(server)
             try:
-                committed = yield from protocol.run_transaction(server, txn, spec.logic)
+                committed = yield from run_transaction(server, txn, spec.logic)
             except NodeUnreachable:
                 # A participant crashed mid-transaction; clean up and retry.
                 protocol.release_locks_everywhere(txn)
@@ -76,30 +114,16 @@ def worker_loop(cluster: "Cluster", server: "Server", source: "TxnSource") -> Ge
                 txn.add_breakdown("backoff", total_backoff)
                 overhead = durability.execution_overhead_us(txn)
                 if overhead > 0:
-                    yield env.timeout(overhead)
+                    yield timeout(overhead)
                 cluster.record_commit(server, txn)
                 durable_event = durability.transaction_executed(server, txn)
-                env.process(
-                    _await_durability(cluster, server, txn, durable_event),
-                    name=f"await-durable-{txn.tid}",
-                )
+                durable_event.add_callback(_Completion(cluster, server, txn))
                 break
 
             cluster.record_abort(server, txn)
             if txn.abort_reason is AbortReason.USER:
                 break
             # Exponential back-off before retrying the aborted transaction.
-            yield env.timeout(backoff_us)
+            yield timeout(backoff_us)
             total_backoff += backoff_us
             backoff_us = min(backoff_us * config.backoff_multiplier, config.backoff_max_us)
-
-
-def _await_durability(cluster: "Cluster", server: "Server", txn, durable_event) -> Generator:
-    """Completion fiber: record end-to-end latency once the result is durable."""
-    outcome = yield durable_event
-    txn.durable_time = cluster.env.now
-    txn.add_breakdown("return", max(0.0, txn.durable_time - txn.commit_end_time))
-    if outcome == DURABLE:
-        cluster.record_durable(server, txn)
-    else:
-        cluster.record_crash_abort(server, txn)

@@ -82,6 +82,12 @@ class ControlledLockViolation(DurabilityScheme):
             self._release_ready()
 
     def _release_ready(self) -> None:
+        # A flush round typically makes a whole batch of transactions durable
+        # at once; their completion callbacks wake through one shared
+        # fast-lane notify (Environment.succeed_all) instead of one scheduled
+        # event each.  Crash-aborted ones stay individually succeeded in
+        # pending order (the rare path).
+        released = []
         still_pending = []
         for pending in self._pending:
             if pending.event.triggered:
@@ -94,11 +100,13 @@ class ControlledLockViolation(DurabilityScheme):
                 for p, lsn in pending.needed.items()
             )
             if durable_everywhere:
-                pending.event.succeed(DURABLE)
+                released.append(pending.event)
                 self.stats["acks"] += 1
             else:
                 still_pending.append(pending)
         self._pending = still_pending
+        if released:
+            self.env.succeed_all(released, DURABLE)
 
     def notify_crash(self, partition_id: int) -> None:
         self._crashed.add(partition_id)

@@ -166,21 +166,29 @@ class CocoGroupCommit(DurabilityScheme):
             yield self.env.timeout(delay)
         return result
 
+    def _resolve_epoch(self, epoch: int, outcome: str) -> None:
+        """Acknowledge every pending transaction of ``epoch`` (and earlier).
+
+        The whole epoch's completion callbacks wake through one shared
+        fast-lane notify per partition (see ``Environment.succeed_all``)
+        instead of one scheduled event per transaction.
+        """
+        for state in self._states.values():
+            released = []
+            for pending_epoch in [e for e in state.pending if e <= epoch]:
+                for _txn, done in state.pending.pop(pending_epoch):
+                    if not done.triggered:
+                        released.append(done)
+            if released:
+                self.env.succeed_all(released, outcome)
+
     def _commit_epoch(self, epoch: int) -> None:
         self.stats["epochs_committed"] += 1
-        for state in self._states.values():
-            for pending_epoch in [e for e in state.pending if e <= epoch]:
-                for txn, done in state.pending.pop(pending_epoch):
-                    if not done.triggered:
-                        done.succeed(DURABLE)
+        self._resolve_epoch(epoch, DURABLE)
 
     def _abort_epoch(self, epoch: int) -> None:
         self.stats["epochs_aborted"] += 1
-        for state in self._states.values():
-            for pending_epoch in [e for e in state.pending if e <= epoch]:
-                for txn, done in state.pending.pop(pending_epoch):
-                    if not done.triggered:
-                        done.succeed(CRASH_ABORTED)
+        self._resolve_epoch(epoch, CRASH_ABORTED)
 
     # -- failure handling ----------------------------------------------------------
     def notify_crash(self, partition_id: int) -> None:

@@ -23,12 +23,31 @@ from typing import TYPE_CHECKING, Generator, Optional
 
 from ..storage.lock import LockMode
 from ..storage.record import Record
+from ..storage.table import TableError
 from ..txn.transaction import AbortReason, ReadEntry, Transaction, TxnAborted
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..cluster.server import Server
 
 __all__ = ["compute_commit_ts", "TicTocLocalExecutor"]
+
+_INSTALL_WRITE_ENTRIES = None
+
+
+def _install_write_entries():
+    """Resolve :func:`repro.protocols.base.install_write_entries` once.
+
+    Importing ``protocols.base`` at module level would be circular (the
+    protocols package imports the protocol modules, which import this one),
+    and a per-commit ``from … import`` pays a ``sys.modules`` round trip on
+    every transaction; resolving lazily into a module global does neither.
+    """
+    global _INSTALL_WRITE_ENTRIES
+    if _INSTALL_WRITE_ENTRIES is None:
+        from ..protocols.base import install_write_entries
+
+        _INSTALL_WRITE_ENTRIES = install_write_entries
+    return _INSTALL_WRITE_ENTRIES
 
 
 def compute_commit_ts(txn: Transaction, ts_floor: float = 0.0) -> float:
@@ -57,14 +76,20 @@ class TicTocLocalExecutor:
     # -- execution phase -----------------------------------------------------
     def read(self, txn: Transaction, table: str, key) -> tuple[Optional[Record], Optional[ReadEntry]]:
         """Lock-free read; returns the record and the recorded read entry."""
-        record = self.server.store.table(table).get(key)
+        server = self.server
+        table_obj = server.store.tables.get(table)
+        if table_obj is None:
+            raise TableError(
+                f"table {table!r} does not exist on partition {server.partition_id}"
+            )
+        record = table_obj.get(key)
         if record is None:
             return None, None
         entry = ReadEntry(
-            partition=self.server.partition_id,
+            partition=server.partition_id,
             table=table,
             key=key,
-            value=record.snapshot(),
+            value=dict(record.value),
             wts=record.wts,
             rts=record.rts,
             version=record.version,
@@ -73,7 +98,7 @@ class TicTocLocalExecutor:
         )
         txn.add_read(entry)
         if txn.lower_bound_ts == 0.0:
-            txn.lower_bound_ts = max(record.wts, self.server.ts_floor + 1)
+            txn.lower_bound_ts = max(record.wts, server.ts_floor + 1)
         return record, entry
 
     # -- commit phase ----------------------------------------------------------
@@ -84,8 +109,9 @@ class TicTocLocalExecutor:
         objects observed during execution.  Returns the commit timestamp, or
         raises :class:`TxnAborted` (after releasing any locks it took).
         """
-        from ..protocols.base import install_write_entries
-
+        # Lazily bound once (not per commit): protocols.base imports this
+        # module's helpers, so a top-level import would be circular.
+        install_write_entries = _install_write_entries()
         lock_manager = self.server.store.lock_manager
         locked: list[Record] = []
         try:
@@ -99,17 +125,27 @@ class TicTocLocalExecutor:
                         continue
                 if record is None:
                     raise TxnAborted(AbortReason.VALIDATION, "write target vanished")
-                ok = yield from lock_manager.acquire(txn.tid, record, LockMode.EXCLUSIVE)
+                ok = lock_manager.acquire_nowait(txn.tid, record, LockMode.EXCLUSIVE)
+                if type(ok) is not bool:
+                    ok = yield ok
                 if not ok:
                     raise TxnAborted(AbortReason.LOCK_CONFLICT, "write lock")
                 locked.append(record)
 
-            # (2) Compute the commit timestamp.
-            commit_ts = compute_commit_ts(txn, self.server.ts_floor)
+            # (2) Compute the commit timestamp (compute_commit_ts inlined so
+            # the ``written`` key set is built once and shared with step 3).
+            written = {(w.partition, w.table, w.key) for w in txn.write_set}
+            commit_ts = self.server.ts_floor + 1
+            for read in txn.read_set:
+                if read.wts > commit_ts:
+                    commit_ts = read.wts
+                if (read.partition, read.table, read.key) in written:
+                    bound = read.rts + 1
+                    if bound > commit_ts:
+                        commit_ts = bound
             txn.ts = commit_ts
 
             # (3) Validate the read-set.
-            written = {(w.partition, w.table, w.key) for w in txn.write_set}
             for read in txn.read_set:
                 key3 = (read.partition, read.table, read.key)
                 record = records.get(key3)

@@ -185,15 +185,23 @@ class WatermarkGroupCommit(DurabilityScheme):
             self._release_pending(state)
 
     def _release_pending(self, state: _PartitionWatermarkState) -> None:
+        # Wake every released transaction's completion callback through one
+        # shared fast-lane notify instead of one scheduled event each: a
+        # watermark advance typically acknowledges a whole interval's worth
+        # of transactions at once.
+        released = []
         still_pending = []
-        for ts, txn, event in state.pending:
-            if event.triggered:
+        wg = state.wg
+        for pending in state.pending:
+            if pending[2].triggered:
                 continue
-            if ts < state.wg:
-                event.succeed(DURABLE)
+            if pending[0] < wg:
+                released.append(pending[2])
             else:
-                still_pending.append((ts, txn, event))
+                still_pending.append(pending)
         state.pending = still_pending
+        if released:
+            self.env.succeed_all(released, DURABLE)
 
     # -- failure handling -------------------------------------------------------------------
     def notify_crash(self, partition_id: int) -> None:

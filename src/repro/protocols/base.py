@@ -131,7 +131,9 @@ class BaseProtocol:
         propagate to the caller (which performs protocol-specific cleanup).
         """
         context = self.create_context(server, txn)
-        yield from self.cpu(self.config.cpu_txn_logic_us)
+        cost = self.config.cpu_txn_logic_us
+        if cost > 0:
+            yield self.env.timeout(cost)
         yield from logic(context)
         return context
 

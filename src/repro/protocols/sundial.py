@@ -44,7 +44,9 @@ class SundialContext(TxnContext):
         self.records: dict = {}
 
     def _protocol_read(self, partition: int, table: str, key) -> Generator:
-        yield from self.protocol.cpu(self.protocol.config.cpu_record_access_us)
+        cost = self.protocol.config.cpu_record_access_us
+        if cost > 0:
+            yield self.env.timeout(cost)
         existing = self.txn.find_read(partition, table, key)
         if existing is not None:
             return dict(existing.value)
@@ -75,7 +77,9 @@ class SundialContext(TxnContext):
         return value
 
     def _protocol_write(self, entry: WriteEntry) -> Generator:
-        yield from self.protocol.cpu(self.protocol.config.cpu_record_access_us)
+        cost = self.protocol.config.cpu_record_access_us
+        if cost > 0:
+            yield self.env.timeout(cost)
         self.txn.add_write(entry)
 
 
@@ -139,7 +143,9 @@ class SundialProtocol(TwoPhaseCommitMixin, BaseProtocol):
                 if entry.is_insert:
                     continue
                 return False
-            ok = yield from lock_manager.acquire(txn.tid, record, LockMode.EXCLUSIVE)
+            ok = lock_manager.acquire_nowait(txn.tid, record, LockMode.EXCLUSIVE)
+            if type(ok) is not bool:
+                ok = yield ok
             if not ok:
                 return False
         written = {(w.table, w.key) for w in writes}

@@ -44,7 +44,9 @@ class TwoPLContext(TxnContext):
         self.records: dict = {}
 
     def _protocol_read(self, partition: int, table: str, key) -> Generator:
-        yield from self.protocol.cpu(self.protocol.config.cpu_record_access_us)
+        cost = self.protocol.config.cpu_record_access_us
+        if cost > 0:
+            yield self.env.timeout(cost)
         existing = self.txn.find_read(partition, table, key)
         if existing is not None:
             return dict(existing.value)
@@ -52,9 +54,11 @@ class TwoPLContext(TxnContext):
             record = self.server.store.table(table).get(key)
             if record is None:
                 raise TxnAborted(AbortReason.VALIDATION, f"missing record {table}:{key}")
-            ok = yield from self.server.store.lock_manager.acquire(
+            ok = self.server.store.lock_manager.acquire_nowait(
                 self.txn.tid, record, LockMode.SHARED
             )
+            if type(ok) is not bool:
+                ok = yield ok
             if not ok:
                 raise TxnAborted(AbortReason.LOCK_CONFLICT, f"S-lock {table}:{key}")
             entry = ReadEntry(
@@ -78,7 +82,9 @@ class TwoPLContext(TxnContext):
         return value
 
     def _protocol_write(self, entry: WriteEntry) -> Generator:
-        yield from self.protocol.cpu(self.protocol.config.cpu_record_access_us)
+        cost = self.protocol.config.cpu_record_access_us
+        if cost > 0:
+            yield self.env.timeout(cost)
         self.txn.add_write(entry)
 
 
@@ -123,9 +129,11 @@ class TwoPLNoWaitProtocol(TwoPhaseCommitMixin, BaseProtocol):
             record = target.store.table(table).get(key)
             if record is None:
                 return ("missing", None, 0)
-            ok = yield from target.store.lock_manager.acquire(
+            ok = target.store.lock_manager.acquire_nowait(
                 txn.tid, record, LockMode.SHARED
             )
+            if type(ok) is not bool:
+                ok = yield ok
             if not ok:
                 return ("conflict", None, 0)
             return ("ok", record.snapshot(), record.version)
@@ -149,9 +157,11 @@ class TwoPLNoWaitProtocol(TwoPhaseCommitMixin, BaseProtocol):
                 if entry.is_insert:
                     continue
                 return False
-            ok = yield from participant.store.lock_manager.acquire(
+            ok = participant.store.lock_manager.acquire_nowait(
                 txn.tid, record, LockMode.EXCLUSIVE
             )
+            if type(ok) is not bool:
+                ok = yield ok
             if not ok:
                 return False
         participant.log.append(LogRecordKind.PREPARE, txn_ts=commit_ts, txn_tid=txn.tid)
@@ -182,9 +192,11 @@ class TwoPLNoWaitProtocol(TwoPhaseCommitMixin, BaseProtocol):
                     if entry.is_insert:
                         continue
                     return False
-            ok = yield from server.store.lock_manager.acquire(
+            ok = server.store.lock_manager.acquire_nowait(
                 txn.tid, record, LockMode.EXCLUSIVE
             )
+            if type(ok) is not bool:
+                ok = yield ok
             if not ok:
                 return False
         return True

@@ -17,10 +17,12 @@ for crash experiments (messages to a crashed node are dropped).
 Hot-path notes: every transaction sends a handful of messages, so delivery
 avoids per-message allocations where it can.  The latency lookup skips the
 injected-delay dictionaries entirely while no fault injection is configured,
-handlers are classified as generator/plain once per handler (instead of an
-``inspect.isgenerator`` call per delivery), and one-way sends of plain
-handlers are delivered by a single :class:`Timeout` callback instead of
-spawning a generator-driving :class:`Process` per message.
+handlers are classified as generator/plain once per handler code object
+(C-level callables classify for free — they can never be generator
+functions), and one-way sends of plain handlers are carried end to end by a
+single slotted, self-rescheduling :class:`_OneWaySend` event: no
+:class:`Process`, no generator frame, no :class:`Timeout` and no closure
+pair per message, with FIFO delivery order preserved bit-for-bit.
 """
 
 from __future__ import annotations
@@ -28,8 +30,12 @@ from __future__ import annotations
 import inspect
 from collections import Counter
 from dataclasses import dataclass, field
-from types import GeneratorType
+from heapq import heappush
+from types import BuiltinFunctionType, GeneratorType, MethodWrapperType
 from typing import Any, Callable, Generator
+
+# Callables implemented in C: no code object, cannot be generator functions.
+_C_CALLABLE_TYPES = (BuiltinFunctionType, MethodWrapperType)
 
 from .engine import Environment, Event, Timeout
 
@@ -44,9 +50,13 @@ class NodeUnreachable(Exception):
         self.node_id = node_id
 
 
-@dataclass
+@dataclass(slots=True)
 class NetworkStats:
-    """Aggregate message counters, used by tests and the bench report."""
+    """Aggregate message counters, used by tests and the bench report.
+
+    Slotted: the per-message counter bumps are plain integer-attribute
+    stores, not instance-dict writes.
+    """
 
     messages_sent: int = 0
     rpc_calls: int = 0
@@ -63,6 +73,87 @@ class NetworkStats:
         self.bytes_hint = 0
         self.dropped = 0
         self.per_destination.clear()
+
+
+class _OneWaySend(Event):
+    """A one-way plain-handler delivery, allocated once per message.
+
+    The event object *is* both scheduling hops of the delivery:
+
+    1. born on the fast lane (same dispatch point at which the old
+       process-based path kicked off its generator), so the delivery delay's
+       sequence number is drawn exactly where it always was — FIFO order
+       among same-timestamp deliveries is preserved bit-for-bit;
+    2. when the fast-lane hop fires, the event *reschedules itself* for the
+       one-way latency (fast lane again for zero-delay, heap otherwise) —
+       no :class:`Timeout`, no closure pair, no cell variables;
+    3. when the second hop fires, the handler runs at the destination.
+
+    The latency is read at dispatch time of the first hop (not at ``send()``
+    call time) so a fault injected by an earlier-sequenced event at the same
+    timestamp is observed exactly as the old path observed it.
+    """
+
+    __slots__ = ("_network", "_src", "_dst", "_handler", "_args", "_kwargs",
+                 "_in_flight")
+
+    def __init__(self, network: "Network", src: int, dst: int,
+                 handler: Callable[..., Any], args: tuple, kwargs: dict):
+        env = network.env
+        self.env = env
+        self._network = network
+        self._src = src
+        self._dst = dst
+        self._handler = handler
+        self._args = args
+        self._kwargs = kwargs
+        self._value = None
+        self._ok = True
+        self._in_flight = False
+        # The dispatch callback is one shared module-level function (the
+        # dispatcher hands it the event, which *is* this op) — no bound
+        # method and no closure allocated per message.
+        self.callbacks = _dispatch_one_way_send
+        self._seq = env._next_seq()
+        env._fast_append(self)
+
+
+def _dispatch_one_way_send(op: "_OneWaySend") -> None:
+    """Dispatcher callback for both hops of a :class:`_OneWaySend`."""
+    network = op._network
+    env = op.env
+    if not op._in_flight:
+        # Hop 1: departure.  Read the latency now (it may have changed
+        # since send() was called) and reschedule the op as the delivery.
+        op._in_flight = True
+        src = op._src
+        dst = op._dst
+        if network._faults_active:
+            delay = network.latency(src, dst)
+        elif src == dst:
+            delay = network.local_latency_us
+        else:
+            delay = network.one_way_latency_us
+        op.callbacks = _dispatch_one_way_send
+        if delay == 0.0:
+            op._seq = env._next_seq()
+            env._fast_append(op)
+        else:
+            heappush(env._queue, (env._now + delay, env._next_seq(), op))
+        return
+    # Hop 2: arrival.
+    if op._dst in network._unreachable:
+        network.stats.dropped += 1
+        op._handler = op._args = op._kwargs = None
+        return
+    handler, args, kwargs = op._handler, op._args, op._kwargs
+    # Drop the payload references so the delivered message is reclaimed by
+    # refcount, not the cycle GC.
+    op._handler = op._args = op._kwargs = None
+    result = handler(*args, **kwargs)
+    if type(result) is GeneratorType:
+        # Misclassified exotic callable: drive it as a process after all.
+        env.process(result, name=f"send:{op._src}->{op._dst}")
 
 
 class Network:
@@ -149,19 +240,29 @@ class Network:
         would never hit and would pin every closure (and its captured
         transaction state) for the life of the network.  Whether a function
         is a generator function is a property of its code object, so this is
-        both bounded (one entry per ``def``) and stable.  Exotic callables
-        without a code object fall back to an uncached check, and delivery
-        re-checks the actual result type, so a misclassification can never
-        drop a generator on the floor.
+        both bounded (one entry per ``def``) and stable.  Plain functions and
+        bound methods both expose ``__code__`` through one attribute lookup;
+        C-level callables (built-in functions/methods like ``list.append``)
+        have no code object and can never be Python generator functions, so
+        they classify as plain without the (uncached, per-message)
+        ``inspect`` round trip.  Other exotic callables fall back to an
+        uncached check, and delivery re-checks the actual result type, so a
+        misclassification can never drop a generator on the floor.
         """
-        func = getattr(handler, "__func__", handler)
-        code = getattr(func, "__code__", None)
+        if type(handler) in _C_CALLABLE_TYPES:
+            # Built-in function/method: no code object, cannot be a Python
+            # generator function — and skipping the getattr below avoids an
+            # internally raised-and-caught AttributeError per message.
+            return False
+        code = getattr(handler, "__code__", None)
         if code is None:
-            return bool(inspect.isgeneratorfunction(func))
+            return bool(inspect.isgeneratorfunction(handler))
         cache = self._gen_handlers
         flag = cache.get(code)
         if flag is None:
-            cache[code] = flag = bool(inspect.isgeneratorfunction(func))
+            cache[code] = flag = bool(
+                inspect.isgeneratorfunction(getattr(handler, "__func__", handler))
+            )
         return flag
 
     # -- messaging primitives ---------------------------------------------
@@ -215,32 +316,17 @@ class Network:
             stats.dropped += 1
             return
 
-        env = self.env
         if self._handler_returns_generator(handler):
-            env.process(
+            self.env.process(
                 self._deliver_generator(src, dst, handler, args, kwargs),
                 name=f"send:{src}->{dst}",
             )
             return
 
-        # Plain handler: deliver via a Timeout callback — no Process and no
-        # generator frame.  The zero-delay kick-off hop is kept so the
-        # delivery timeout draws its sequence number at the same dispatch
-        # point as the process-based path did, preserving FIFO order among
-        # same-timestamp deliveries exactly.
-        def deliver(_event: Event) -> None:
-            if dst in unreachable:
-                stats.dropped += 1
-                return
-            result = handler(*args, **kwargs)
-            if type(result) is GeneratorType:
-                # Misclassified exotic callable: drive it as a process after all.
-                env.process(result, name=f"send:{src}->{dst}")
-
-        def kickoff(_event: Event) -> None:
-            Timeout(env, self.latency(src, dst)).callbacks = deliver
-
-        env._immediate(kickoff)
+        # Plain handler: one slotted self-rescheduling event carries the
+        # whole delivery — no Process, no generator frame, no Timeout and no
+        # closure pair per message (see _OneWaySend).
+        _OneWaySend(self, src, dst, handler, args, kwargs)
 
     def _deliver_generator(self, src, dst, handler, args, kwargs) -> Generator:
         yield Timeout(self.env, self.latency(src, dst))

@@ -4,12 +4,28 @@ The paper's evaluation reports throughput (committed transactions / second),
 average and 99th-percentile latency, abort rates, and a latency *breakdown*
 into components (execute, 2PC, timestamp, commit, backoff, return, wait_batch,
 sequence — Figs. 4c/5c).  These classes collect exactly those quantities.
+
+Hot-path notes: every committed transaction touches these classes several
+times, so recording is kept allocation-free.
+
+* :class:`Counter` is slotted and increments through a plain dict (no
+  ``defaultdict`` factory call per new key).
+* :class:`LatencyRecorder` appends to a C-backed ``array('d')`` and sorts
+  on demand: the sorted view is computed once and cached until the next
+  append invalidates it, so ``p50``/``p99``/``max`` after a run each cost a
+  cached lookup instead of a fresh full sort.
+* :class:`BreakdownTimer` interns component names once (module-level id
+  table seeded with the paper's components) and accumulates into a flat
+  float list indexed by component id — ``add()`` on the commit path is two
+  list operations, not a dict hash + resize.
+
+All three merge order-independently (the pool orchestrator merges shards in
+arbitrary completion order); ``tests/sim/test_stats.py`` pins that property.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from dataclasses import dataclass, field
+from array import array
 from typing import Iterable
 
 __all__ = [
@@ -32,15 +48,34 @@ BREAKDOWN_COMPONENTS = (
     "sequence",
 )
 
+# Component name -> slot index, shared by every BreakdownTimer.  Seeded with
+# the paper's components; unknown components are interned on first use (the
+# table only ever grows, so existing indices stay valid and timers merged
+# across processes agree on the seeded prefix).
+_COMPONENT_IDS: dict[str, int] = {
+    name: i for i, name in enumerate(BREAKDOWN_COMPONENTS)
+}
+
+
+def _component_id(component: str) -> int:
+    ids = _COMPONENT_IDS
+    idx = ids.get(component)
+    if idx is None:
+        ids[component] = idx = len(ids)
+    return idx
+
 
 class Counter:
     """Named integer counters."""
 
+    __slots__ = ("_counts",)
+
     def __init__(self) -> None:
-        self._counts: dict[str, int] = defaultdict(int)
+        self._counts: dict[str, int] = {}
 
     def increment(self, name: str, amount: int = 1) -> None:
-        self._counts[name] += amount
+        counts = self._counts
+        counts[name] = counts.get(name, 0) + amount
 
     def get(self, name: str) -> int:
         return self._counts.get(name, 0)
@@ -56,21 +91,36 @@ class Counter:
         return counter
 
     def merge(self, other: "Counter") -> None:
+        counts = self._counts
         for name, value in other._counts.items():
-            self._counts[name] += value
+            counts[name] = counts.get(name, 0) + value
 
 
 class LatencyRecorder:
     """Collects latency samples and reports mean / percentiles."""
 
+    __slots__ = ("_samples", "_sorted")
+
     def __init__(self) -> None:
-        self._samples: list[float] = []
+        self._samples: array = array("d")
+        # Cached ascending view; invalidated by every append/extend so the
+        # sort runs once per batch of percentile queries, not once per query.
+        self._sorted: array | None = None
 
     def record(self, latency: float) -> None:
         self._samples.append(latency)
+        self._sorted = None
 
     def extend(self, samples: Iterable[float]) -> None:
         self._samples.extend(samples)
+        self._sorted = None
+
+    def _ordered(self) -> array:
+        ordered = self._sorted
+        if ordered is None:
+            ordered = array("d", sorted(self._samples))
+            self._sorted = ordered
+        return ordered
 
     @property
     def count(self) -> int:
@@ -86,7 +136,7 @@ class LatencyRecorder:
         """Nearest-rank percentile (pct in [0, 100])."""
         if not self._samples:
             return 0.0
-        ordered = sorted(self._samples)
+        ordered = self._ordered()
         if pct <= 0:
             return ordered[0]
         if pct >= 100:
@@ -104,7 +154,9 @@ class LatencyRecorder:
 
     @property
     def max(self) -> float:
-        return max(self._samples) if self._samples else 0.0
+        if not self._samples:
+            return 0.0
+        return self._ordered()[-1]
 
     @property
     def samples(self) -> list[float]:
@@ -114,66 +166,112 @@ class LatencyRecorder:
     @classmethod
     def from_samples(cls, samples: Iterable[float]) -> "LatencyRecorder":
         recorder = cls()
-        recorder._samples = [float(s) for s in samples]
+        recorder._samples = array("d", (float(s) for s in samples))
         return recorder
 
 
 class BreakdownTimer:
     """Accumulates per-component time for the latency-breakdown figures."""
 
+    __slots__ = ("_totals", "_txn_count")
+
     def __init__(self) -> None:
-        self._totals: dict[str, float] = defaultdict(float)
+        # Flat accumulator indexed by the interned component id; grown on
+        # demand when a not-yet-seen component is recorded.
+        self._totals: list[float] = [0.0] * len(BREAKDOWN_COMPONENTS)
         self._txn_count = 0
 
     def add(self, component: str, duration: float) -> None:
         if duration < 0:
             raise ValueError(f"negative duration for {component}: {duration}")
-        self._totals[component] += duration
+        idx = _COMPONENT_IDS.get(component)
+        if idx is None:
+            idx = _component_id(component)
+        totals = self._totals
+        if idx >= len(totals):
+            totals.extend([0.0] * (idx + 1 - len(totals)))
+        totals[idx] += duration
 
     def finish_transaction(self) -> None:
         """Mark that one transaction's breakdown has been fully recorded."""
         self._txn_count += 1
 
     def merge(self, other: "BreakdownTimer") -> None:
-        for component, value in other._totals.items():
-            self._totals[component] += value
+        totals = self._totals
+        other_totals = other._totals
+        if len(other_totals) > len(totals):
+            totals.extend([0.0] * (len(other_totals) - len(totals)))
+        for idx, value in enumerate(other_totals):
+            totals[idx] += value
         self._txn_count += other._txn_count
 
     def total(self, component: str) -> float:
-        return self._totals.get(component, 0.0)
+        idx = _COMPONENT_IDS.get(component)
+        if idx is None or idx >= len(self._totals):
+            return 0.0
+        return self._totals[idx]
 
     def per_transaction(self) -> dict[str, float]:
         """Average time per committed transaction for each component."""
         if self._txn_count == 0:
             return {component: 0.0 for component in BREAKDOWN_COMPONENTS}
         return {
-            component: self._totals.get(component, 0.0) / self._txn_count
+            component: self.total(component) / self._txn_count
             for component in BREAKDOWN_COMPONENTS
         }
 
+    def _named_totals(self) -> dict[str, float]:
+        """Non-zero totals keyed by component name (serialization view)."""
+        totals = self._totals
+        return {
+            name: totals[idx]
+            for name, idx in _COMPONENT_IDS.items()
+            if idx < len(totals) and totals[idx] != 0.0
+        }
+
     def to_json_dict(self) -> dict:
-        return {"totals": dict(self._totals), "txn_count": self._txn_count}
+        return {"totals": self._named_totals(), "txn_count": self._txn_count}
 
     @classmethod
     def from_json_dict(cls, data: dict) -> "BreakdownTimer":
         timer = cls()
         for component, value in data.get("totals", {}).items():
-            timer._totals[component] = float(value)
+            timer.add(component, 0.0)  # intern + size the slot
+            timer._totals[_COMPONENT_IDS[component]] = float(value)
         timer._txn_count = int(data.get("txn_count", 0))
         return timer
 
 
-@dataclass
 class RunMetrics:
     """Everything a single simulated run reports back to the harness."""
 
-    duration_us: float = 0.0
-    committed: int = 0
-    aborted: int = 0
-    crash_aborted: int = 0
-    counters: Counter = field(default_factory=Counter)
-    latency: LatencyRecorder = field(default_factory=LatencyRecorder)
-    breakdown: BreakdownTimer = field(default_factory=BreakdownTimer)
+    __slots__ = (
+        "duration_us",
+        "committed",
+        "aborted",
+        "crash_aborted",
+        "counters",
+        "latency",
+        "breakdown",
+    )
+
+    def __init__(
+        self,
+        duration_us: float = 0.0,
+        committed: int = 0,
+        aborted: int = 0,
+        crash_aborted: int = 0,
+        counters: Counter | None = None,
+        latency: LatencyRecorder | None = None,
+        breakdown: BreakdownTimer | None = None,
+    ):
+        self.duration_us = duration_us
+        self.committed = committed
+        self.aborted = aborted
+        self.crash_aborted = crash_aborted
+        self.counters = counters if counters is not None else Counter()
+        self.latency = latency if latency is not None else LatencyRecorder()
+        self.breakdown = breakdown if breakdown is not None else BreakdownTimer()
 
     @property
     def throughput_tps(self) -> float:

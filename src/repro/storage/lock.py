@@ -7,17 +7,27 @@ policies used in the paper's baselines and in Primo itself:
 * ``WAIT_DIE`` — an *older* requester (smaller TID) waits for the holder, a
   *younger* one aborts (2PL(WD) and Primo's WCF, §4.2 "Deadlock Prevention").
 
-Acquisition is a simulation generator: a request that must wait yields an
-event that the release path triggers when the lock is granted.  The manager
-never grants conflicting locks and always wakes waiters in FIFO order subject
-to mode compatibility, which tests verify as an invariant.
+Acquisition is two-tier for the hot path: :meth:`LockManager.acquire_nowait`
+resolves the common uncontended case synchronously (``True``/``False``) and
+only returns an :class:`~repro.sim.engine.Event` to wait on when the request
+actually queues, so protocols pay no generator frame for an immediately
+granted lock.  :meth:`LockManager.acquire` wraps it as the old simulation
+generator for call sites that prefer ``yield from``.  The manager never
+grants conflicting locks and always wakes waiters in FIFO order subject to
+mode compatibility, which tests verify as an invariant.
+
+Hot-path notes: uncontended acquisition touches no queue machinery at all —
+the wait deque is allocated lazily on first contention, grant/release keep an
+exclusive-holder count so the record's aggregate mode is maintained in O(1)
+without scanning holders, and compatibility checks compare dict sizes instead
+of materializing sets.
 """
 
 from __future__ import annotations
 
 import enum
 from collections import deque
-from typing import TYPE_CHECKING, Generator, Optional
+from typing import TYPE_CHECKING, Generator, Optional, Union
 
 from ..sim.engine import Environment, Event
 
@@ -51,13 +61,18 @@ class LockRequest:
 class LockState:
     """Lock bookkeeping attached to a single record."""
 
-    __slots__ = ("holders", "mode", "waiters")
+    __slots__ = ("holders", "mode", "waiters", "n_exclusive")
 
     def __init__(self) -> None:
         # txn_id -> LockMode currently granted.
         self.holders: dict = {}
         self.mode: Optional[LockMode] = None
-        self.waiters: deque[LockRequest] = deque()
+        # Allocated lazily on first contention: uncontended records never pay
+        # for a deque.
+        self.waiters: Optional[deque[LockRequest]] = None
+        # Number of holders in EXCLUSIVE mode, so the aggregate mode is
+        # maintained in O(1) on grant/release instead of scanning holders.
+        self.n_exclusive = 0
 
     @property
     def locked(self) -> bool:
@@ -68,12 +83,13 @@ class LockState:
 
     def compatible(self, txn_id, mode: LockMode) -> bool:
         """Can ``txn_id`` be granted ``mode`` right now?"""
-        if not self.holders:
+        holders = self.holders
+        if not holders:
             return True
-        if set(self.holders) == {txn_id}:
+        if len(holders) == 1 and txn_id in holders:
             # Only holder is the requester itself: re-entrant / upgrade.
             return True
-        if mode is LockMode.SHARED and self.mode is LockMode.SHARED:
+        if mode is LockMode.SHARED and self.n_exclusive == 0:
             return True
         return False
 
@@ -111,7 +127,7 @@ class LockManager:
     def try_acquire(self, txn_id, record: "Record", mode: LockMode) -> bool:
         """Non-blocking acquire; returns ``True`` iff granted immediately."""
         state = self._state(record)
-        held = state.held_by(txn_id)
+        held = state.holders.get(txn_id)
         if held is not None and (held is mode or held is LockMode.EXCLUSIVE):
             return True
         if not state.waiters and state.compatible(txn_id, mode):
@@ -119,17 +135,21 @@ class LockManager:
             return True
         return False
 
-    def acquire(
+    def acquire_nowait(
         self,
         txn_id,
         record: "Record",
         mode: LockMode,
         policy: Optional[LockPolicy] = None,
-    ) -> Generator[Event, object, bool]:
-        """Acquire a lock, waiting if the policy allows; returns success flag.
+    ) -> Union[bool, Event]:
+        """Uncontended-first acquire: bool when resolved synchronously.
 
-        ``False`` means the caller must abort the transaction (NO_WAIT
-        conflict, or WAIT_DIE with a younger requester).
+        Returns ``True`` (granted), ``False`` (the caller must abort: NO_WAIT
+        conflict, or WAIT_DIE with a younger requester), or an
+        :class:`~repro.sim.engine.Event` the caller must ``yield``; the
+        event's value is the grant flag.  The fast path — re-entrant or
+        immediately compatible requests — touches no queue machinery and
+        allocates nothing.
 
         Grants are FIFO-fair: a new request never overtakes queued waiters
         (otherwise a steady stream of shared readers starves lock upgrades on
@@ -138,57 +158,76 @@ class LockManager:
         age check therefore covers both the current holders and every queued
         waiter: a transaction only ever waits for strictly younger ones.
         """
-        policy = policy or self.policy
-        state = self._state(record)
-        held = state.held_by(txn_id)
+        state = record.lock_state
+        if state is None:
+            record.lock_state = state = LockState()
+        held = state.holders.get(txn_id)
         if held is not None and (held is mode or held is LockMode.EXCLUSIVE):
             # Re-entrant request (or downgrade request): already satisfied.
             return True
         if not state.waiters and state.compatible(txn_id, mode):
             self._grant(state, txn_id, record, mode)
             return True
-        if policy is LockPolicy.NO_WAIT:
+        if (policy or self.policy) is LockPolicy.NO_WAIT:
             self.stats["aborts"] += 1
             return False
         # WAIT_DIE: wait only if strictly older than every conflicting holder
         # and every transaction already queued ahead of us.
         conflicting = [holder for holder in state.holders if holder != txn_id]
-        conflicting.extend(request.txn_id for request in state.waiters)
+        if state.waiters:
+            conflicting.extend(request.txn_id for request in state.waiters)
         if any(txn_id >= other for other in conflicting):
             self.stats["aborts"] += 1
             return False
         self.stats["waits"] += 1
         event = self.env.event()
         request = LockRequest(txn_id, mode, event)
+        if state.waiters is None:
+            state.waiters = deque()
         state.waiters.append(request)
-        granted = yield event
-        if granted:
-            return True
-        self.stats["aborts"] += 1
-        return False
+        return event
+
+    def acquire(
+        self,
+        txn_id,
+        record: "Record",
+        mode: LockMode,
+        policy: Optional[LockPolicy] = None,
+    ) -> Generator[Event, object, bool]:
+        """Generator form of :meth:`acquire_nowait` (``yield from`` friendly)."""
+        outcome = self.acquire_nowait(txn_id, record, mode, policy)
+        if type(outcome) is bool:
+            return outcome
+        granted = yield outcome
+        return bool(granted)
 
     def _grant(self, state: LockState, txn_id, record: "Record", mode: LockMode) -> None:
-        previous = state.held_by(txn_id)
-        state.holders[txn_id] = (
+        holders = state.holders
+        previous = holders.get(txn_id)
+        granted = (
             LockMode.EXCLUSIVE
             if mode is LockMode.EXCLUSIVE or previous is LockMode.EXCLUSIVE
             else LockMode.SHARED
         )
-        state.mode = (
-            LockMode.EXCLUSIVE
-            if any(m is LockMode.EXCLUSIVE for m in state.holders.values())
-            else LockMode.SHARED
-        )
-        self._held.setdefault(txn_id, set()).add(record)
+        holders[txn_id] = granted
+        if granted is LockMode.EXCLUSIVE and previous is not LockMode.EXCLUSIVE:
+            state.n_exclusive += 1
+        state.mode = LockMode.EXCLUSIVE if state.n_exclusive else LockMode.SHARED
+        held = self._held.get(txn_id)
+        if held is None:
+            self._held[txn_id] = held = set()
+        held.add(record)
         self.stats["grants"] += 1
 
     # -- release ------------------------------------------------------------
     def release(self, txn_id, record: "Record") -> None:
         """Release one lock (no-op if the transaction does not hold it)."""
-        state = self._state(record)
-        if txn_id not in state.holders:
+        state = record.lock_state
+        if state is None or txn_id not in state.holders:
             return
-        del state.holders[txn_id]
+        removed = state.holders.pop(txn_id)
+        if removed is LockMode.EXCLUSIVE:
+            state.n_exclusive -= 1
         held = self._held.get(txn_id)
         if held is not None:
             held.discard(record)
@@ -196,11 +235,15 @@ class LockManager:
                 del self._held[txn_id]
         self.stats["releases"] += 1
         self._recompute_mode(state)
-        self._wake_waiters(state, record)
+        if state.waiters:
+            self._wake_waiters(state, record)
 
     def release_all(self, txn_id) -> None:
         """Release every lock held by ``txn_id``."""
-        for record in list(self._held.get(txn_id, ())):
+        held = self._held.get(txn_id)
+        if not held:
+            return
+        for record in list(held):
             self.release(txn_id, record)
 
     def cancel_waits(self, txn_id) -> None:
@@ -215,37 +258,57 @@ class LockManager:
     def _recompute_mode(self, state: LockState) -> None:
         if not state.holders:
             state.mode = None
-        elif any(m is LockMode.EXCLUSIVE for m in state.holders.values()):
+        elif state.n_exclusive:
             state.mode = LockMode.EXCLUSIVE
         else:
             state.mode = LockMode.SHARED
 
     def _wake_waiters(self, state: LockState, record: "Record") -> None:
-        """Grant queued requests that are now compatible (FIFO, no overtaking)."""
-        while state.waiters:
-            request = state.waiters[0]
+        """Grant queued requests that are now compatible (FIFO, no overtaking).
+
+        All waiters granted in one wake-up round share a single fast-lane
+        notify (``Environment.succeed_all``) — a burst of shared readers
+        released by an exclusive unlock costs one scheduled event.
+        """
+        waiters = state.waiters
+        granted: list[Event] = []
+        while waiters:
+            request = waiters[0]
             if not state.compatible(request.txn_id, request.mode):
                 break
-            state.waiters.popleft()
+            waiters.popleft()
             self._grant(state, request.txn_id, record, request.mode)
-            request.event.succeed(True)
+            granted.append(request.event)
             if request.mode is LockMode.EXCLUSIVE:
                 break
+        if granted:
+            self.env.succeed_all(granted, True)
 
     # -- failure handling -----------------------------------------------------
     def abort_waiters(self, record: "Record") -> None:
-        """Fail every queued request on a record (crash/rollback path)."""
+        """Fail every queued request on a record (crash/rollback path).
+
+        The woken requester counts as an abort; the accounting lives here so
+        both the generator and the ``acquire_nowait`` call sites observe it.
+        """
         state = self._state(record)
-        while state.waiters:
-            request = state.waiters.popleft()
-            request.event.succeed(False)
+        waiters = state.waiters
+        failed: list[Event] = []
+        while waiters:
+            request = waiters.popleft()
+            failed.append(request.event)
+            self.stats["aborts"] += 1
+        if failed:
+            self.env.succeed_all(failed, False)
 
     def force_release_everything(self) -> None:
         """Drop all lock state (used when a partition crashes and restarts)."""
         for txn_id in list(self._held):
             for record in list(self._held.get(txn_id, ())):
                 state = self._state(record)
-                state.holders.pop(txn_id, None)
+                removed = state.holders.pop(txn_id, None)
+                if removed is LockMode.EXCLUSIVE:
+                    state.n_exclusive -= 1
                 self._recompute_mode(state)
                 self.abort_waiters(record)
         self._held.clear()

@@ -33,25 +33,34 @@ class TxnId:
 
     Ordering follows the counter first, so a smaller TID is (approximately)
     an older transaction — exactly what the WAIT_DIE policy needs.
+
+    TIDs key every lock-holder dict and active-transaction registry, so the
+    hash is computed once at construction and cached; ``__hash__`` on the
+    hot path is a slot read, not a tuple allocation.
     """
 
-    __slots__ = ("sequence", "coordinator")
+    __slots__ = ("sequence", "coordinator", "_hash")
 
     def __init__(self, sequence: int, coordinator: int):
         self.sequence = sequence
         self.coordinator = coordinator
+        self._hash = hash((sequence, coordinator))
 
     def _key(self) -> tuple[int, int]:
         return (self.sequence, self.coordinator)
 
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, TxnId) and self._key() == other._key()
+        return (
+            isinstance(other, TxnId)
+            and self.sequence == other.sequence
+            and self.coordinator == other.coordinator
+        )
 
     def __lt__(self, other: "TxnId") -> bool:
         return self._key() < other._key()
 
     def __hash__(self) -> int:
-        return hash(self._key())
+        return self._hash
 
     def __repr__(self) -> str:
         return f"TxnId({self.sequence}, p{self.coordinator})"
@@ -142,6 +151,12 @@ class Transaction:
     participants: set = field(default_factory=set)
     abort_reason: Optional[AbortReason] = None
 
+    # (partition, table, key) -> entry indices over the two sets, so the
+    # per-operation find_read/find_write lookups are O(1) instead of linear
+    # scans (a transaction re-reads its own records constantly).
+    _read_index: dict = field(default_factory=dict)
+    _write_index: dict = field(default_factory=dict)
+
     # Wall-of-simulation timing marks used for latency/breakdown reporting.
     start_time: float = 0.0
     execute_end_time: float = 0.0
@@ -164,29 +179,27 @@ class Transaction:
 
     # -- read/write set helpers -------------------------------------------
     def find_read(self, partition: int, table: str, key) -> Optional[ReadEntry]:
-        for entry in self.read_set:
-            if entry.partition == partition and entry.table == table and entry.key == key:
-                return entry
-        return None
+        return self._read_index.get((partition, table, key))
 
     def find_write(self, partition: int, table: str, key) -> Optional[WriteEntry]:
-        for entry in self.write_set:
-            if entry.partition == partition and entry.table == table and entry.key == key:
-                return entry
-        return None
+        return self._write_index.get((partition, table, key))
 
     def add_read(self, entry: ReadEntry) -> None:
         self.read_set.append(entry)
+        self._read_index.setdefault((entry.partition, entry.table, entry.key), entry)
         if not entry.local:
             self.is_distributed = True
             self.participants.add(entry.partition)
 
     def add_write(self, entry: WriteEntry) -> None:
-        existing = self.find_write(entry.partition, entry.table, entry.key)
+        index_key = (entry.partition, entry.table, entry.key)
+        existing = self._write_index.get(index_key)
         if existing is not None and not entry.is_insert:
             existing.updates.update(entry.updates)
             return
         self.write_set.append(entry)
+        if existing is None:
+            self._write_index[index_key] = entry
         if not entry.local:
             self.is_distributed = True
             self.participants.add(entry.partition)

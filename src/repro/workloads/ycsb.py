@@ -55,11 +55,12 @@ class YCSBConfig:
             raise ValueError("remote_ops must be within the transaction size")
 
 
-@dataclass(slots=True)
-class _Operation:
-    partition: int
-    key: int
-    kind: str  # "read" | "rmw" | "blind_write"
+# Operation kinds; operations are plain (partition, key, kind) tuples — a
+# spec is built per transaction attempt stream step, so construction stays
+# allocation-lean on the hot path.
+_READ = 0
+_RMW = 1
+_BLIND_WRITE = 2
 
 
 class YCSBSource(TxnSource):
@@ -77,33 +78,43 @@ class YCSBSource(TxnSource):
         self.n_partitions = cluster.config.n_partitions
 
     def next(self) -> TransactionSpec:
+        # The RNG draw sequence below is pinned by the determinism goldens:
+        # distributed flag, remote slot draws, then per slot key/kind draws.
         config = self.workload.config
-        distributed = (
-            self.n_partitions > 1 and self.rng.boolean(config.distributed_pct)
-        )
+        rng = self.rng
+        ops_per_txn = config.ops_per_txn
+        n_partitions = self.n_partitions
+        home = self.partition_id
+        distributed = n_partitions > 1 and rng.boolean(config.distributed_pct)
         remote_slots: set[int] = set()
         if distributed:
-            while len(remote_slots) < min(config.remote_ops, config.ops_per_txn):
-                remote_slots.add(self.rng.uniform_int(0, config.ops_per_txn - 1))
-        operations: list[_Operation] = []
+            want = min(config.remote_ops, ops_per_txn)
+            while len(remote_slots) < want:
+                remote_slots.add(rng.uniform_int(0, ops_per_txn - 1))
+        operations: list[tuple[int, int, int]] = []
         chosen: set[tuple[int, int]] = set()
-        for slot in range(config.ops_per_txn):
+        zipf_next = self.zipf.next
+        boolean = rng.boolean
+        write_pct = config.write_pct
+        blind_write_pct = config.blind_write_pct
+        read_only = True
+        for slot in range(ops_per_txn):
             if slot in remote_slots:
-                partition = self.rng.uniform_int(0, self.n_partitions - 2)
-                if partition >= self.partition_id:
+                partition = rng.uniform_int(0, n_partitions - 2)
+                if partition >= home:
                     partition += 1
             else:
-                partition = self.partition_id
-            key = self.zipf.next()
+                partition = home
+            key = zipf_next()
             while (partition, key) in chosen:
-                key = self.zipf.next()
+                key = zipf_next()
             chosen.add((partition, key))
-            if self.rng.boolean(config.write_pct):
-                kind = "blind_write" if self.rng.boolean(config.blind_write_pct) else "rmw"
+            if boolean(write_pct):
+                kind = _BLIND_WRITE if boolean(blind_write_pct) else _RMW
+                read_only = False
             else:
-                kind = "read"
-            operations.append(_Operation(partition=partition, key=key, kind=kind))
-        read_only = all(op.kind == "read" for op in operations)
+                kind = _READ
+            operations.append((partition, key, kind))
         return TransactionSpec(
             name="ycsb",
             logic=self.workload.make_logic(operations),
@@ -137,17 +148,17 @@ class YCSBWorkload(Workload):
         return YCSBSource(self, cluster, partition_id, self.rng(cluster, partition_id, stream_id))
 
     # -- transaction logic -------------------------------------------------------------
-    def make_logic(self, operations: list[_Operation]):
+    def make_logic(self, operations: list[tuple[int, int, int]]):
         def logic(ctx: "TxnContext") -> Generator:
-            for op in operations:
-                if op.kind == "read":
-                    yield from ctx.read(op.partition, TABLE, op.key)
-                elif op.kind == "rmw":
-                    value = yield from ctx.read(op.partition, TABLE, op.key)
+            for partition, key, kind in operations:
+                if kind == _READ:
+                    yield from ctx.read(partition, TABLE, key)
+                elif kind == _RMW:
+                    value = yield from ctx.read(partition, TABLE, key)
                     yield from ctx.update(
-                        op.partition, TABLE, op.key, {"field0": value.get("field0", 0) + 1}
+                        partition, TABLE, key, {"field0": value.get("field0", 0) + 1}
                     )
                 else:  # blind write: no prior read
-                    yield from ctx.update(op.partition, TABLE, op.key, {"field1": 1})
+                    yield from ctx.update(partition, TABLE, key, {"field1": 1})
 
         return logic

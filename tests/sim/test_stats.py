@@ -110,3 +110,118 @@ def test_run_metrics_summary_contains_breakdown():
     assert summary["committed"] == 1
     assert summary["breakdown_us"]["execute"] == pytest.approx(10.0)
     assert summary["mean_latency_ms"] == pytest.approx(2.0)
+
+
+# -- merge order independence (pool orchestrator contract) ------------------
+#
+# The orchestrator merges per-worker shards in whatever order the pool
+# completes them; every stats class must therefore report identical values
+# regardless of merge order.
+
+_counter_shards = st.lists(
+    st.dictionaries(
+        st.sampled_from(["commits", "aborts", "retries", "msgs"]),
+        st.integers(min_value=0, max_value=1_000),
+        max_size=4,
+    ),
+    min_size=1,
+    max_size=5,
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(shards=_counter_shards, seed=st.randoms(use_true_random=False))
+def test_counter_merge_is_order_independent(shards, seed):
+    def merged(order):
+        total = Counter()
+        for shard in order:
+            total.merge(Counter.from_dict(shard))
+        return total.as_dict()
+
+    shuffled = list(shards)
+    seed.shuffle(shuffled)
+    assert merged(shards) == merged(shuffled)
+
+
+_breakdown_shards = st.lists(
+    st.lists(
+        st.tuples(
+            st.sampled_from(BREAKDOWN_COMPONENTS + ("custom_component",)),
+            st.floats(min_value=0.0, max_value=1e6),
+        ),
+        max_size=6,
+    ),
+    min_size=1,
+    max_size=5,
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(shards=_breakdown_shards, seed=st.randoms(use_true_random=False))
+def test_breakdown_merge_is_order_independent(shards, seed):
+    def merged(order):
+        total = BreakdownTimer()
+        for shard in order:
+            timer = BreakdownTimer()
+            for component, duration in shard:
+                timer.add(component, duration)
+            timer.finish_transaction()
+            total.merge(timer)
+        return total.per_transaction(), total.total("custom_component")
+
+    shuffled = list(shards)
+    seed.shuffle(shuffled)
+    per_txn, custom = merged(shards)
+    per_txn_shuffled, custom_shuffled = merged(shuffled)
+    # Equal up to float summation order (addition is not associative).
+    assert per_txn == pytest.approx(per_txn_shuffled)
+    assert custom == pytest.approx(custom_shuffled)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    shards=st.lists(
+        st.lists(st.floats(min_value=0.0, max_value=1e9), max_size=50),
+        min_size=1,
+        max_size=5,
+    ),
+    seed=st.randoms(use_true_random=False),
+)
+def test_latency_merge_is_order_independent(shards, seed):
+    def merged(order):
+        total = LatencyRecorder()
+        for shard in order:
+            total.extend(shard)
+        return (total.count, total.mean, total.p50, total.p99, total.max)
+
+    count, mean, p50, p99, peak = merged(shards)
+    shuffled = list(shards)
+    seed.shuffle(shuffled)
+    count_s, mean_s, p50_s, p99_s, peak_s = merged(shuffled)
+    assert (count, p50, p99, peak) == (count_s, p50_s, p99_s, peak_s)
+    assert mean == pytest.approx(mean_s)  # summation order may differ
+
+
+def test_latency_sorted_cache_invalidated_by_append():
+    """p50/p99/max reuse one sorted view until a new sample invalidates it."""
+    recorder = LatencyRecorder()
+    recorder.extend([5.0, 1.0, 3.0])
+    assert recorder.max == 5.0
+    assert recorder.p50 == 3.0
+    # Appending a new minimum must be visible immediately (no stale cache).
+    recorder.record(0.5)
+    assert recorder.percentile(0) == 0.5
+    recorder.record(9.0)
+    assert recorder.max == 9.0
+    assert recorder.samples == [5.0, 1.0, 3.0, 0.5, 9.0]  # recording order kept
+
+
+def test_breakdown_json_round_trip_preserves_custom_components():
+    timer = BreakdownTimer()
+    timer.add("execute", 3.0)
+    timer.add("my_extension_phase", 2.0)
+    timer.finish_transaction()
+    clone = BreakdownTimer.from_json_dict(timer.to_json_dict())
+    assert clone.total("execute") == 3.0
+    assert clone.total("my_extension_phase") == 2.0
+    assert clone.per_transaction()["execute"] == 3.0
