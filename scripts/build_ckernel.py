@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Build the compiled scheduler kernel in place (for source checkouts).
+
+Runs ``setup.py build_ext --inplace`` so the ``repro.sim._ckernel`` shared
+object lands next to ``_ckernel.c`` under ``src/repro/sim/``, where the
+``PYTHONPATH=src`` workflow (tests, bench gate, CLI) picks it up.  The build
+is best-effort by design — a missing compiler degrades to the pure-Python
+kernel — so pass ``--verify`` wherever a silent fallback would be a bug
+(CI's backend-matrix job does): it imports the engine and fails loudly
+unless the C kernel actually loaded.
+
+Usage::
+
+    python scripts/build_ckernel.py            # build (best-effort)
+    python scripts/build_ckernel.py --verify   # build, then assert it loads
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def build() -> int:
+    return subprocess.run(
+        [sys.executable, "setup.py", "build_ext", "--inplace"],
+        cwd=REPO_ROOT,
+    ).returncode
+
+
+def verify() -> int:
+    """Import the engine in a clean interpreter and require the C backend."""
+    code = (
+        "import os; os.environ['REPRO_ENGINE'] = 'c'\n"
+        "from repro.sim import engine\n"
+        "assert engine.ENGINE_BACKEND == 'c', engine.C_IMPORT_ERROR\n"
+        "env = engine.Environment()\n"
+        "def ping():\n"
+        "    yield env.timeout(1.0)\n"
+        "    return 'ok'\n"
+        "proc = env.process(ping())\n"
+        "env.run_all()\n"
+        "assert proc.value == 'ok' and env.now == 1.0\n"
+        "print('C kernel loaded and dispatching:', engine.Environment)\n"
+    )
+    env = {"PYTHONPATH": str(REPO_ROOT / "src")}
+    import os
+
+    merged = dict(os.environ)
+    merged.update(env)
+    return subprocess.run([sys.executable, "-c", code], env=merged).returncode
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="after building, import the engine and fail unless REPRO_ENGINE=c loads",
+    )
+    args = parser.parse_args()
+    code = build()
+    if code != 0:
+        print("build_ckernel: build_ext failed outright", file=sys.stderr)
+        return code
+    if args.verify:
+        code = verify()
+        if code != 0:
+            print(
+                "build_ckernel: the C kernel did not load (silent fallback "
+                "would have occurred)",
+                file=sys.stderr,
+            )
+        return code
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

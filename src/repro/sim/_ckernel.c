@@ -1,0 +1,1923 @@
+/* Compiled scheduler kernel for the repro simulation engine.
+ *
+ * A C implementation of the event-scheduler core behind
+ * ``repro.sim.engine``: the binary heap + zero-delay fast-lane merge with
+ * the shared monotone sequence counter, event dispatch, timeout
+ * scheduling, process driving (generator send/throw) and the batched
+ * wakeup fire loop.  The pure-Python kernel in ``_pykernel.py`` is the
+ * semantics reference; this module mirrors it operation for operation so
+ * that fixed-seed runs are bit-identical across backends (same wake
+ * orderings, same sequence numbers, same final clock).  The differential
+ * test in ``tests/sim/test_backend_parity.py`` and the bench gate's
+ * fixed-seed rows enforce that contract.
+ *
+ * Interop rules that keep the two kernels interchangeable:
+ *
+ * - The sentinels (``_PENDING``, ``_PROCESSED``) and exception types
+ *   (``SimulationError``, ``Interrupt``) are *shared* with the pure
+ *   kernel: ``engine.py`` injects them via ``_configure()`` right after
+ *   import, so events produced by one kernel remain legible to the other
+ *   (``processed`` checks, ``all_of`` on processed events, ...).
+ * - The heap is a real Python list of ``(time, seq, event)`` tuples and
+ *   the sequence counter / fast lane are reachable through the same
+ *   ``_queue`` / ``_next_seq`` / ``_fast_append`` / ``_now`` surface the
+ *   pure kernel exposes, so Python code that schedules directly (the
+ *   zero-allocation one-way send path in ``network.py``) runs unchanged
+ *   on either backend.
+ * - Events the dispatcher does not recognise as C events fall back to the
+ *   generic attribute protocol (``callbacks`` / ``_seq``), so foreign
+ *   (pure-Python) events can ride this kernel's lanes.
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+#include <structmember.h>
+
+/* Shared singletons, injected by engine.py via _configure(). */
+static PyObject *S_pending = NULL;    /* _pykernel._PENDING */
+static PyObject *S_processed = NULL;  /* _pykernel._PROCESSED */
+static PyObject *E_interrupt = NULL;  /* engine.Interrupt */
+static PyObject *E_simerror = NULL;   /* engine.SimulationError */
+
+static PyObject *str_callbacks = NULL;
+static PyObject *str_seq = NULL;      /* "_seq" */
+static PyObject *str_value_u = NULL;  /* "_value" */
+static PyObject *str_ok_u = NULL;     /* "_ok" */
+static PyObject *str_throw = NULL;
+static PyObject *str_close = NULL;
+static PyObject *str_send = NULL;
+static PyObject *str_name_dunder = NULL; /* "__name__" */
+static PyObject *str_next_seq = NULL;    /* "_next_seq" */
+static PyObject *str_fast_append = NULL; /* "_fast_append" */
+static PyObject *str_queue_u = NULL;     /* "_queue" */
+static PyObject *str_now_u = NULL;       /* "_now" */
+
+static PyTypeObject EventType;
+static PyTypeObject TimeoutType;
+static PyTypeObject BatchWakeupType;
+static PyTypeObject ProcessType;
+static PyTypeObject EnvType;
+
+#define CONFIGURED() (S_pending != NULL)
+
+typedef struct {
+    PyObject_HEAD
+    PyObject *env;        /* Environment (C or duck-compatible), or NULL   */
+    PyObject *callbacks;  /* None | callable | list | S_processed          */
+    PyObject *value;      /* S_pending until triggered                     */
+    long long seq;        /* fast-lane sequence number (0 until drawn)     */
+    char ok;
+} CEvent;
+
+typedef struct {
+    CEvent base;
+    double delay;
+} CTimeout;
+
+typedef struct {
+    CEvent base;
+    PyObject *batch;      /* list of already-triggered events              */
+} CBatchWakeup;
+
+typedef struct {
+    CEvent base;
+    PyObject *name;
+    PyObject *generator;      /* NULL once finished                        */
+    PyObject *interrupted_by; /* pending Interrupt instance, or NULL       */
+    PyObject *target;         /* event the generator currently waits on    */
+} CProcess;
+
+typedef struct {
+    PyObject_HEAD
+    double now;
+    PyObject *heap;       /* list of (float time, int seq, event) tuples   */
+    PyObject **lane;      /* zero-delay ring buffer (strong refs)          */
+    Py_ssize_t lane_head;
+    Py_ssize_t lane_len;
+    Py_ssize_t lane_cap;
+    long long counter;    /* shared heap/lane sequence counter             */
+} CEnv;
+
+/* ------------------------------------------------------------------ */
+/* heap primitives (heapq re-implemented over (double, longlong) keys) */
+/* ------------------------------------------------------------------ */
+
+/* Extract the (time, seq) ordering key of a heap entry.  Entries are
+ * exclusively built as (float, int, event) by both kernels, so the event
+ * slot never participates in comparisons (seq is globally unique). */
+static int
+heap_key(PyObject *item, double *t, long long *s)
+{
+    if (!PyTuple_Check(item) || PyTuple_GET_SIZE(item) < 2) {
+        PyErr_SetString(PyExc_TypeError, "malformed heap entry");
+        return -1;
+    }
+    *t = PyFloat_AsDouble(PyTuple_GET_ITEM(item, 0));
+    if (*t == -1.0 && PyErr_Occurred())
+        return -1;
+    *s = PyLong_AsLongLong(PyTuple_GET_ITEM(item, 1));
+    if (*s == -1 && PyErr_Occurred())
+        return -1;
+    return 0;
+}
+
+/* a < b; returns 1/0, or -1 on error. */
+static int
+heap_lt(PyObject *a, PyObject *b)
+{
+    double ta, tb;
+    long long sa, sb;
+    if (heap_key(a, &ta, &sa) < 0 || heap_key(b, &tb, &sb) < 0)
+        return -1;
+    if (ta != tb)
+        return ta < tb;
+    return sa < sb;
+}
+
+static int
+heap_siftdown(PyObject *heap, Py_ssize_t startpos, Py_ssize_t pos)
+{
+    PyObject *newitem = PyList_GET_ITEM(heap, pos);
+    Py_INCREF(newitem);
+    while (pos > startpos) {
+        Py_ssize_t parentpos = (pos - 1) >> 1;
+        PyObject *parent = PyList_GET_ITEM(heap, parentpos);
+        int lt = heap_lt(newitem, parent);
+        if (lt < 0) {
+            Py_DECREF(newitem);
+            return -1;
+        }
+        if (!lt)
+            break;
+        Py_INCREF(parent);
+        if (PyList_SetItem(heap, pos, parent) < 0) {
+            Py_DECREF(newitem);
+            return -1;
+        }
+        pos = parentpos;
+    }
+    return PyList_SetItem(heap, pos, newitem);
+}
+
+static int
+heap_siftup(PyObject *heap, Py_ssize_t pos)
+{
+    Py_ssize_t startpos = pos;
+    Py_ssize_t endpos = PyList_GET_SIZE(heap);
+    PyObject *newitem = PyList_GET_ITEM(heap, pos);
+    Py_INCREF(newitem);
+    Py_ssize_t childpos = 2 * pos + 1;
+    while (childpos < endpos) {
+        Py_ssize_t rightpos = childpos + 1;
+        if (rightpos < endpos) {
+            int lt = heap_lt(PyList_GET_ITEM(heap, childpos),
+                             PyList_GET_ITEM(heap, rightpos));
+            if (lt < 0) {
+                Py_DECREF(newitem);
+                return -1;
+            }
+            if (!lt)
+                childpos = rightpos;
+        }
+        PyObject *child = PyList_GET_ITEM(heap, childpos);
+        Py_INCREF(child);
+        if (PyList_SetItem(heap, pos, child) < 0) {
+            Py_DECREF(newitem);
+            return -1;
+        }
+        pos = childpos;
+        childpos = 2 * pos + 1;
+    }
+    if (PyList_SetItem(heap, pos, newitem) < 0)
+        return -1;
+    return heap_siftdown(heap, startpos, pos);
+}
+
+/* Push an entry (new reference NOT stolen). */
+static int
+heappush_c(PyObject *heap, PyObject *item)
+{
+    if (PyList_Append(heap, item) < 0)
+        return -1;
+    return heap_siftdown(heap, 0, PyList_GET_SIZE(heap) - 1);
+}
+
+/* Pop the smallest entry; returns a new reference or NULL. */
+static PyObject *
+heappop_c(PyObject *heap)
+{
+    Py_ssize_t n = PyList_GET_SIZE(heap);
+    if (n == 0) {
+        PyErr_SetString(PyExc_IndexError, "heappop from empty heap");
+        return NULL;
+    }
+    PyObject *last = PyList_GET_ITEM(heap, n - 1);
+    Py_INCREF(last);
+    if (PyList_SetSlice(heap, n - 1, n, NULL) < 0) {
+        Py_DECREF(last);
+        return NULL;
+    }
+    if (n == 1)
+        return last;
+    PyObject *smallest = PyList_GET_ITEM(heap, 0);
+    Py_INCREF(smallest);
+    if (PyList_SetItem(heap, 0, last) < 0) {   /* steals last */
+        Py_DECREF(smallest);
+        return NULL;
+    }
+    if (heap_siftup(heap, 0) < 0) {
+        Py_DECREF(smallest);
+        return NULL;
+    }
+    return smallest;
+}
+
+/* ------------------------------------------------------------------ */
+/* fast lane (ring buffer)                                             */
+/* ------------------------------------------------------------------ */
+
+static int
+lane_append(CEnv *env, PyObject *ev)
+{
+    if (env->lane_len == env->lane_cap) {
+        Py_ssize_t newcap = env->lane_cap ? env->lane_cap * 2 : 64;
+        PyObject **buf = PyMem_New(PyObject *, newcap);
+        if (buf == NULL) {
+            PyErr_NoMemory();
+            return -1;
+        }
+        for (Py_ssize_t i = 0; i < env->lane_len; i++)
+            buf[i] = env->lane[(env->lane_head + i) % (env->lane_cap ? env->lane_cap : 1)];
+        PyMem_Free(env->lane);
+        env->lane = buf;
+        env->lane_head = 0;
+        env->lane_cap = newcap;
+    }
+    env->lane[(env->lane_head + env->lane_len) % env->lane_cap] = ev;
+    Py_INCREF(ev);
+    env->lane_len++;
+    return 0;
+}
+
+/* Pop the lane head; returns a transferred (owned) reference. */
+static PyObject *
+lane_popleft(CEnv *env)
+{
+    PyObject *ev = env->lane[env->lane_head];
+    env->lane[env->lane_head] = NULL;
+    env->lane_head = (env->lane_head + 1) % env->lane_cap;
+    env->lane_len--;
+    if (env->lane_len == 0)
+        env->lane_head = 0;
+    return ev;
+}
+
+static PyObject *
+lane_peek(CEnv *env)
+{
+    return env->lane[env->lane_head];   /* borrowed */
+}
+
+/* ------------------------------------------------------------------ */
+/* scheduling helpers                                                  */
+/* ------------------------------------------------------------------ */
+
+static int is_cenv(PyObject *o) { return PyObject_TypeCheck(o, &EnvType); }
+static int is_cevent(PyObject *o) { return PyObject_TypeCheck(o, &EventType); }
+
+/* The event's fast-lane sequence number (events on the lane always carry
+ * one; foreign events expose it as the ``_seq`` attribute). */
+static long long
+event_seq(PyObject *ev, int *err)
+{
+    if (is_cevent(ev)) {
+        *err = 0;
+        return ((CEvent *)ev)->seq;
+    }
+    PyObject *o = PyObject_GetAttr(ev, str_seq);
+    if (o == NULL) {
+        *err = 1;
+        return 0;
+    }
+    long long s = PyLong_AsLongLong(o);
+    Py_DECREF(o);
+    if (s == -1 && PyErr_Occurred()) {
+        *err = 1;
+        return 0;
+    }
+    *err = 0;
+    return s;
+}
+
+/* Draw a sequence number and append ``ev`` to the zero-delay lane. */
+static int
+schedule_fast(CEnv *env, CEvent *ev)
+{
+    ev->seq = env->counter++;
+    return lane_append(env, (PyObject *)ev);
+}
+
+/* Schedule on the heap at now + delay. */
+static int
+schedule_heap(CEnv *env, PyObject *ev, double delay)
+{
+    PyObject *t = PyFloat_FromDouble(env->now + delay);
+    if (t == NULL)
+        return -1;
+    PyObject *s = PyLong_FromLongLong(env->counter++);
+    if (s == NULL) {
+        Py_DECREF(t);
+        return -1;
+    }
+    PyObject *entry = PyTuple_Pack(3, t, s, ev);
+    Py_DECREF(t);
+    Py_DECREF(s);
+    if (entry == NULL)
+        return -1;
+    int r = heappush_c(env->heap, entry);
+    Py_DECREF(entry);
+    return r;
+}
+
+/* Mirror of the pure kernel's scheduling fast path, with a generic
+ * attribute-protocol fallback for duck-typed (non-C) environments. */
+static int
+schedule_event(PyObject *envobj, CEvent *ev, double delay)
+{
+    if (envobj == NULL) {
+        PyErr_SetString(PyExc_AttributeError, "env");
+        return -1;
+    }
+    if (is_cenv(envobj)) {
+        CEnv *env = (CEnv *)envobj;
+        if (delay == 0.0)
+            return schedule_fast(env, ev);
+        return schedule_heap(env, (PyObject *)ev, delay);
+    }
+    /* Foreign environment: speak the shared protocol. */
+    PyObject *seqobj = PyObject_CallMethodNoArgs(envobj, str_next_seq);
+    if (seqobj == NULL)
+        return -1;
+    if (delay == 0.0) {
+        long long s = PyLong_AsLongLong(seqobj);
+        if (s == -1 && PyErr_Occurred()) {
+            Py_DECREF(seqobj);
+            return -1;
+        }
+        ev->seq = s;
+        Py_DECREF(seqobj);
+        PyObject *r = PyObject_CallMethodOneArg(envobj, str_fast_append,
+                                                (PyObject *)ev);
+        if (r == NULL)
+            return -1;
+        Py_DECREF(r);
+        return 0;
+    }
+    PyObject *nowobj = PyObject_GetAttr(envobj, str_now_u);
+    if (nowobj == NULL) {
+        Py_DECREF(seqobj);
+        return -1;
+    }
+    double now = PyFloat_AsDouble(nowobj);
+    Py_DECREF(nowobj);
+    if (now == -1.0 && PyErr_Occurred()) {
+        Py_DECREF(seqobj);
+        return -1;
+    }
+    PyObject *t = PyFloat_FromDouble(now + delay);
+    if (t == NULL) {
+        Py_DECREF(seqobj);
+        return -1;
+    }
+    PyObject *entry = PyTuple_Pack(3, t, seqobj, (PyObject *)ev);
+    Py_DECREF(t);
+    Py_DECREF(seqobj);
+    if (entry == NULL)
+        return -1;
+    PyObject *queue = PyObject_GetAttr(envobj, str_queue_u);
+    if (queue == NULL || !PyList_Check(queue)) {
+        Py_XDECREF(queue);
+        Py_DECREF(entry);
+        if (!PyErr_Occurred())
+            PyErr_SetString(PyExc_TypeError, "_queue is not a list");
+        return -1;
+    }
+    int r = heappush_c(queue, entry);
+    Py_DECREF(queue);
+    Py_DECREF(entry);
+    return r;
+}
+
+/* ------------------------------------------------------------------ */
+/* dispatch                                                            */
+/* ------------------------------------------------------------------ */
+
+static int process_resume(CProcess *p, PyObject *event);
+static int batch_fire(CBatchWakeup *b);
+static int fire_event(PyObject *ev);
+
+static int
+invoke_callback(PyObject *cb, PyObject *ev)
+{
+    if (Py_TYPE(cb) == &ProcessType)
+        return process_resume((CProcess *)cb, ev);
+    PyObject *r = PyObject_CallOneArg(cb, ev);
+    if (r == NULL)
+        return -1;
+    Py_DECREF(r);
+    return 0;
+}
+
+/* Pop an event's callbacks, mark it processed, run every callback.
+ * Exactly the dispatch epilogue both pure-kernel loops inline. */
+static int
+fire_event(PyObject *ev)
+{
+    PyObject *cbs;
+    if (is_cevent(ev)) {
+        CEvent *ce = (CEvent *)ev;
+        cbs = ce->callbacks;                   /* take ownership */
+        Py_INCREF(S_processed);
+        ce->callbacks = S_processed;
+        if (cbs == NULL)
+            cbs = Py_NewRef(Py_None);
+        /* BatchWakeup stores itself as its own callback marker. */
+        if (cbs == ev && Py_TYPE(ev) == &BatchWakeupType) {
+            int r = batch_fire((CBatchWakeup *)ev);
+            Py_DECREF(cbs);
+            return r;
+        }
+    }
+    else {
+        cbs = PyObject_GetAttr(ev, str_callbacks);
+        if (cbs == NULL)
+            return -1;
+        if (PyObject_SetAttr(ev, str_callbacks, S_processed) < 0) {
+            Py_DECREF(cbs);
+            return -1;
+        }
+    }
+    if (cbs == Py_None) {
+        Py_DECREF(cbs);
+        return 0;
+    }
+    if (PyList_CheckExact(cbs)) {
+        /* Live iteration: callbacks appended mid-fire still run, exactly
+         * like the pure kernel's list iterator. */
+        for (Py_ssize_t i = 0; i < PyList_GET_SIZE(cbs); i++) {
+            PyObject *cb = PyList_GET_ITEM(cbs, i);
+            Py_INCREF(cb);
+            int r = invoke_callback(cb, ev);
+            Py_DECREF(cb);
+            if (r < 0) {
+                Py_DECREF(cbs);
+                return -1;
+            }
+        }
+        Py_DECREF(cbs);
+        return 0;
+    }
+    int r = invoke_callback(cbs, ev);
+    Py_DECREF(cbs);
+    return r;
+}
+
+/* ------------------------------------------------------------------ */
+/* Event                                                               */
+/* ------------------------------------------------------------------ */
+
+static PyObject *
+event_new(PyTypeObject *type, PyObject *args, PyObject *kwds)
+{
+    if (!CONFIGURED()) {
+        PyErr_SetString(PyExc_RuntimeError,
+                        "_ckernel is not configured; import repro.sim.engine first");
+        return NULL;
+    }
+    CEvent *self = (CEvent *)type->tp_alloc(type, 0);
+    if (self == NULL)
+        return NULL;
+    self->env = NULL;
+    self->callbacks = Py_NewRef(Py_None);
+    self->value = Py_NewRef(S_pending);
+    self->seq = 0;
+    self->ok = 1;
+    return (PyObject *)self;
+}
+
+static int
+event_init(PyObject *self, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {"env", NULL};
+    PyObject *env;
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "O:Event", kwlist, &env))
+        return -1;
+    CEvent *ev = (CEvent *)self;
+    Py_INCREF(env);
+    Py_XSETREF(ev->env, env);
+    return 0;
+}
+
+static int
+event_traverse(PyObject *self, visitproc visit, void *arg)
+{
+    CEvent *ev = (CEvent *)self;
+    Py_VISIT(ev->env);
+    Py_VISIT(ev->callbacks);
+    Py_VISIT(ev->value);
+    return 0;
+}
+
+static int
+event_clear(PyObject *self)
+{
+    CEvent *ev = (CEvent *)self;
+    Py_CLEAR(ev->env);
+    Py_CLEAR(ev->callbacks);
+    Py_CLEAR(ev->value);
+    return 0;
+}
+
+static void
+event_dealloc(PyObject *self)
+{
+    PyObject_GC_UnTrack(self);
+    event_clear(self);
+    Py_TYPE(self)->tp_free(self);
+}
+
+static PyObject *
+event_succeed(PyObject *self, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {"value", "delay", NULL};
+    PyObject *value = Py_None;
+    double delay = 0.0;
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "|Od:succeed", kwlist,
+                                     &value, &delay))
+        return NULL;
+    CEvent *ev = (CEvent *)self;
+    if (ev->value != S_pending) {
+        PyErr_SetString(E_simerror, "event already triggered");
+        return NULL;
+    }
+    Py_INCREF(value);
+    Py_XSETREF(ev->value, value);
+    if (schedule_event(ev->env, ev, delay) < 0)
+        return NULL;
+    return Py_NewRef(self);
+}
+
+static PyObject *
+event_fail(PyObject *self, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {"exception", "delay", NULL};
+    PyObject *exc;
+    double delay = 0.0;
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "O|d:fail", kwlist,
+                                     &exc, &delay))
+        return NULL;
+    CEvent *ev = (CEvent *)self;
+    if (ev->value != S_pending) {
+        PyErr_SetString(E_simerror, "event already triggered");
+        return NULL;
+    }
+    if (!PyExceptionInstance_Check(exc)) {
+        PyErr_SetString(E_simerror, "fail() requires an exception instance");
+        return NULL;
+    }
+    ev->ok = 0;
+    Py_INCREF(exc);
+    Py_XSETREF(ev->value, exc);
+    if (schedule_event(ev->env, ev, delay) < 0)
+        return NULL;
+    return Py_NewRef(self);
+}
+
+static PyObject *
+event_add_callback(PyObject *self, PyObject *callback)
+{
+    CEvent *ev = (CEvent *)self;
+    PyObject *cbs = ev->callbacks;
+    if (cbs == Py_None || cbs == NULL) {
+        Py_INCREF(callback);
+        Py_XSETREF(ev->callbacks, callback);
+    }
+    else if (cbs == S_processed) {
+        PyObject *r = PyObject_CallOneArg(callback, self);
+        if (r == NULL)
+            return NULL;
+        Py_DECREF(r);
+    }
+    else if (PyList_CheckExact(cbs)) {
+        if (PyList_Append(cbs, callback) < 0)
+            return NULL;
+    }
+    else {
+        PyObject *list = PyList_New(2);
+        if (list == NULL)
+            return NULL;
+        PyList_SET_ITEM(list, 0, cbs);          /* steal existing ref */
+        PyList_SET_ITEM(list, 1, Py_NewRef(callback));
+        ev->callbacks = list;
+    }
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+event_get_triggered(PyObject *self, void *closure)
+{
+    return PyBool_FromLong(((CEvent *)self)->value != S_pending);
+}
+
+static PyObject *
+event_get_processed(PyObject *self, void *closure)
+{
+    return PyBool_FromLong(((CEvent *)self)->callbacks == S_processed);
+}
+
+static PyObject *
+event_get_ok(PyObject *self, void *closure)
+{
+    return PyBool_FromLong(((CEvent *)self)->ok);
+}
+
+static PyObject *
+event_get_value(PyObject *self, void *closure)
+{
+    CEvent *ev = (CEvent *)self;
+    if (ev->value == S_pending) {
+        PyErr_SetString(E_simerror, "event value accessed before it was triggered");
+        return NULL;
+    }
+    return Py_NewRef(ev->value);
+}
+
+static PyObject *
+event_get_raw_value(PyObject *self, void *closure)
+{
+    CEvent *ev = (CEvent *)self;
+    return Py_NewRef(ev->value ? ev->value : S_pending);
+}
+
+static int
+event_set_raw_value(PyObject *self, PyObject *v, void *closure)
+{
+    if (v == NULL) {
+        PyErr_SetString(PyExc_AttributeError, "cannot delete _value");
+        return -1;
+    }
+    CEvent *ev = (CEvent *)self;
+    Py_INCREF(v);
+    Py_XSETREF(ev->value, v);
+    return 0;
+}
+
+static PyObject *
+event_get_raw_ok(PyObject *self, void *closure)
+{
+    return PyBool_FromLong(((CEvent *)self)->ok);
+}
+
+static int
+event_set_raw_ok(PyObject *self, PyObject *v, void *closure)
+{
+    if (v == NULL) {
+        PyErr_SetString(PyExc_AttributeError, "cannot delete _ok");
+        return -1;
+    }
+    int truth = PyObject_IsTrue(v);
+    if (truth < 0)
+        return -1;
+    ((CEvent *)self)->ok = (char)truth;
+    return 0;
+}
+
+static PyObject *
+event_repr(PyObject *self)
+{
+    CEvent *ev = (CEvent *)self;
+    return PyUnicode_FromFormat("<%s %s (c)>", Py_TYPE(self)->tp_name,
+                                ev->value != S_pending ? "triggered" : "pending");
+}
+
+static PyMethodDef event_methods[] = {
+    {"succeed", (PyCFunction)event_succeed, METH_VARARGS | METH_KEYWORDS,
+     "Trigger the event successfully with ``value`` after ``delay``."},
+    {"fail", (PyCFunction)event_fail, METH_VARARGS | METH_KEYWORDS,
+     "Trigger the event with an exception; waiters will see it raised."},
+    {"add_callback", (PyCFunction)event_add_callback, METH_O,
+     "Run ``callback(event)`` when the event fires."},
+    {NULL}
+};
+
+static PyGetSetDef event_getset[] = {
+    {"triggered", event_get_triggered, NULL,
+     "True once the event has been given a value.", NULL},
+    {"processed", event_get_processed, NULL,
+     "True once callbacks have run.", NULL},
+    {"ok", event_get_ok, NULL, "Whether the event succeeded.", NULL},
+    {"value", event_get_value, NULL, "The triggered value.", NULL},
+    {"_value", event_get_raw_value, event_set_raw_value, NULL, NULL},
+    {"_ok", event_get_raw_ok, event_set_raw_ok, NULL, NULL},
+    {NULL}
+};
+
+static PyMemberDef event_members[] = {
+    {"env", T_OBJECT, offsetof(CEvent, env), 0, "owning environment"},
+    {"callbacks", T_OBJECT, offsetof(CEvent, callbacks), 0, "waiter callbacks"},
+    {"_seq", T_LONGLONG, offsetof(CEvent, seq), 0, "fast-lane sequence number"},
+    {NULL}
+};
+
+static PyTypeObject EventType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.sim._ckernel.Event",
+    .tp_basicsize = sizeof(CEvent),
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_BASETYPE | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "A single occurrence a process can wait for (compiled kernel).",
+    .tp_new = event_new,
+    .tp_init = event_init,
+    .tp_dealloc = event_dealloc,
+    .tp_traverse = event_traverse,
+    .tp_clear = event_clear,
+    .tp_repr = event_repr,
+    .tp_methods = event_methods,
+    .tp_getset = event_getset,
+    .tp_members = event_members,
+};
+
+/* ------------------------------------------------------------------ */
+/* Timeout                                                             */
+/* ------------------------------------------------------------------ */
+
+/* Shared by Timeout.__init__ and Environment.timeout(). */
+static int
+timeout_setup(CTimeout *self, PyObject *env, double delay, PyObject *value)
+{
+    if (delay < 0) {
+        PyErr_Format(E_simerror, "negative timeout delay: %g", delay);
+        return -1;
+    }
+    CEvent *ev = (CEvent *)self;
+    Py_INCREF(env);
+    Py_XSETREF(ev->env, env);
+    Py_INCREF(value);
+    Py_XSETREF(ev->value, value);
+    self->delay = delay;
+    return schedule_event(env, ev, delay);
+}
+
+static int
+timeout_init(PyObject *self, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {"env", "delay", "value", NULL};
+    PyObject *env;
+    double delay;
+    PyObject *value = Py_None;
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "Od|O:Timeout", kwlist,
+                                     &env, &delay, &value))
+        return -1;
+    return timeout_setup((CTimeout *)self, env, delay, value);
+}
+
+static PyMemberDef timeout_members[] = {
+    {"delay", T_DOUBLE, offsetof(CTimeout, delay), 0, "scheduled delay"},
+    {NULL}
+};
+
+static PyTypeObject TimeoutType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.sim._ckernel.Timeout",
+    .tp_basicsize = sizeof(CTimeout),
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_BASETYPE | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "An event that fires after a fixed delay (compiled kernel).",
+    .tp_base = &EventType,
+    .tp_init = timeout_init,
+    .tp_members = timeout_members,
+    /* Static subtypes must restate GC slots: PyType_Ready checks HAVE_GC
+     * before slot inheritance runs.  Timeout adds no object fields. */
+    .tp_dealloc = event_dealloc,
+    .tp_traverse = event_traverse,
+    .tp_clear = event_clear,
+};
+
+/* ------------------------------------------------------------------ */
+/* BatchWakeup                                                         */
+/* ------------------------------------------------------------------ */
+
+static int
+batch_fire(CBatchWakeup *b)
+{
+    PyObject *batch = b->batch;
+    if (batch == NULL)
+        return 0;
+    Py_INCREF(batch);
+    if (PyList_CheckExact(batch)) {
+        for (Py_ssize_t i = 0; i < PyList_GET_SIZE(batch); i++) {
+            PyObject *sub = PyList_GET_ITEM(batch, i);
+            Py_INCREF(sub);
+            int r = fire_event(sub);
+            Py_DECREF(sub);
+            if (r < 0) {
+                Py_DECREF(batch);
+                return -1;
+            }
+        }
+        Py_DECREF(batch);
+        return 0;
+    }
+    PyObject *it = PyObject_GetIter(batch);
+    Py_DECREF(batch);
+    if (it == NULL)
+        return -1;
+    PyObject *sub;
+    while ((sub = PyIter_Next(it)) != NULL) {
+        int r = fire_event(sub);
+        Py_DECREF(sub);
+        if (r < 0) {
+            Py_DECREF(it);
+            return -1;
+        }
+    }
+    Py_DECREF(it);
+    return PyErr_Occurred() ? -1 : 0;
+}
+
+/* Shared by BatchWakeup.__init__ and Environment.succeed_all(). */
+static int
+batchwakeup_setup(CBatchWakeup *self, PyObject *env, PyObject *batch)
+{
+    CEvent *ev = (CEvent *)self;
+    Py_INCREF(env);
+    Py_XSETREF(ev->env, env);
+    Py_INCREF(Py_None);
+    Py_XSETREF(ev->value, Py_None);          /* born triggered */
+    ev->ok = 1;
+    Py_INCREF(batch);
+    Py_XSETREF(self->batch, batch);
+    /* The event is its own callback marker: the dispatcher (or tp_call,
+     * for a foreign dispatcher) runs the batch fire loop. */
+    Py_INCREF(self);
+    Py_XSETREF(ev->callbacks, (PyObject *)self);
+    return schedule_event(env, ev, 0.0);
+}
+
+static int
+batchwakeup_init(PyObject *self, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {"env", "batch", NULL};
+    PyObject *env, *batch;
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "OO:BatchWakeup", kwlist,
+                                     &env, &batch))
+        return -1;
+    return batchwakeup_setup((CBatchWakeup *)self, env, batch);
+}
+
+static PyObject *
+batchwakeup_call(PyObject *self, PyObject *args, PyObject *kwds)
+{
+    /* Foreign-dispatcher entry point: ``callbacks(event)``. */
+    if (batch_fire((CBatchWakeup *)self) < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static int
+batchwakeup_traverse(PyObject *self, visitproc visit, void *arg)
+{
+    Py_VISIT(((CBatchWakeup *)self)->batch);
+    return event_traverse(self, visit, arg);
+}
+
+static int
+batchwakeup_clear(PyObject *self)
+{
+    Py_CLEAR(((CBatchWakeup *)self)->batch);
+    return event_clear(self);
+}
+
+static void
+batchwakeup_dealloc(PyObject *self)
+{
+    PyObject_GC_UnTrack(self);
+    batchwakeup_clear(self);
+    Py_TYPE(self)->tp_free(self);
+}
+
+static PyMemberDef batchwakeup_members[] = {
+    {"_batch", T_OBJECT, offsetof(CBatchWakeup, batch), READONLY,
+     "events released by this carrier"},
+    {NULL}
+};
+
+static PyTypeObject BatchWakeupType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.sim._ckernel.BatchWakeup",
+    .tp_basicsize = sizeof(CBatchWakeup),
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_BASETYPE | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "One fast-lane carrier firing a batch of triggered events.",
+    .tp_base = &EventType,
+    .tp_init = batchwakeup_init,
+    .tp_call = batchwakeup_call,
+    .tp_dealloc = batchwakeup_dealloc,
+    .tp_traverse = batchwakeup_traverse,
+    .tp_clear = batchwakeup_clear,
+    .tp_members = batchwakeup_members,
+};
+
+/* ------------------------------------------------------------------ */
+/* Process                                                             */
+/* ------------------------------------------------------------------ */
+
+/* Drop completion-time references so a finished process is acyclic
+ * (mirrors _pykernel.Process._finish). */
+static void
+process_finish(CProcess *p)
+{
+    Py_CLEAR(p->generator);
+    Py_CLEAR(p->target);
+    Py_CLEAR(p->interrupted_by);
+}
+
+/* succeed/fail without argument parsing, for resume's internal use. */
+static int
+process_trigger(CProcess *p, PyObject *value, int ok)
+{
+    CEvent *ev = (CEvent *)p;
+    if (ev->value != S_pending) {
+        PyErr_SetString(E_simerror, "event already triggered");
+        return -1;
+    }
+    ev->ok = (char)ok;
+    Py_INCREF(value);
+    Py_XSETREF(ev->value, value);
+    return schedule_event(ev->env, ev, 0.0);
+}
+
+static int
+process_resume(CProcess *p, PyObject *event)
+{
+    CEvent *self = (CEvent *)p;
+    if (self->value != S_pending)
+        return 0;
+
+    PyObject *target = NULL;
+    if (p->interrupted_by != NULL) {
+        PyObject *exc = p->interrupted_by;
+        p->interrupted_by = NULL;
+        target = PyObject_CallMethodOneArg(p->generator, str_throw, exc);
+        Py_DECREF(exc);
+    }
+    else if (event != p->target) {
+        /* Stale wakeup: an interrupt was scheduled but the awaited event
+         * fired (and consumed the interrupt) in the same tick. */
+        return 0;
+    }
+    else {
+        /* event._ok / event._value of the fired event. */
+        int ev_ok;
+        PyObject *ev_value;
+        if (is_cevent(event)) {
+            ev_ok = ((CEvent *)event)->ok;
+            ev_value = Py_NewRef(((CEvent *)event)->value);
+        }
+        else {
+            PyObject *okobj = PyObject_GetAttr(event, str_ok_u);
+            if (okobj == NULL)
+                return -1;
+            ev_ok = PyObject_IsTrue(okobj);
+            Py_DECREF(okobj);
+            if (ev_ok < 0)
+                return -1;
+            ev_value = PyObject_GetAttr(event, str_value_u);
+            if (ev_value == NULL)
+                return -1;
+        }
+        if (ev_ok) {
+            PySendResult sr = PyIter_Send(p->generator, ev_value, &target);
+            Py_DECREF(ev_value);
+            if (sr == PYGEN_RETURN) {
+                process_finish(p);
+                int r = process_trigger(p, target, 1);
+                Py_DECREF(target);
+                return r;
+            }
+            /* PYGEN_NEXT falls through with target set; PYGEN_ERROR falls
+             * through with target == NULL and the error set. */
+        }
+        else {
+            target = PyObject_CallMethodOneArg(p->generator, str_throw, ev_value);
+            Py_DECREF(ev_value);
+        }
+    }
+
+    if (target == NULL) {
+        /* The generator raised (or finished, for the throw path). */
+        if (PyErr_ExceptionMatches(PyExc_StopIteration)) {
+            PyObject *ptype, *pvalue, *ptb;
+            PyErr_Fetch(&ptype, &pvalue, &ptb);
+            PyErr_NormalizeException(&ptype, &pvalue, &ptb);
+            PyObject *stop_value = NULL;
+            if (pvalue != NULL)
+                stop_value = PyObject_GetAttrString(pvalue, "value");
+            Py_XDECREF(ptype);
+            Py_XDECREF(pvalue);
+            Py_XDECREF(ptb);
+            if (stop_value == NULL) {
+                PyErr_Clear();
+                stop_value = Py_NewRef(Py_None);
+            }
+            process_finish(p);
+            int r = process_trigger(p, stop_value, 1);
+            Py_DECREF(stop_value);
+            return r;
+        }
+        if (E_interrupt != NULL && PyErr_ExceptionMatches(E_interrupt)) {
+            /* Process chose not to handle the interrupt: termination. */
+            PyErr_Clear();
+            process_finish(p);
+            return process_trigger(p, Py_None, 1);
+        }
+        if (PyErr_ExceptionMatches(PyExc_KeyboardInterrupt) ||
+            PyErr_ExceptionMatches(PyExc_SystemExit))
+            return -1;
+        PyObject *ptype, *pvalue, *ptb;
+        PyErr_Fetch(&ptype, &pvalue, &ptb);
+        PyErr_NormalizeException(&ptype, &pvalue, &ptb);
+        Py_XDECREF(ptype);
+        Py_XDECREF(ptb);
+        if (pvalue == NULL)
+            pvalue = Py_NewRef(Py_None);
+        process_finish(p);
+        int r = process_trigger(p, pvalue, 0);
+        Py_DECREF(pvalue);
+        return r;
+    }
+
+    /* Attach to the yielded target. */
+    PyObject *cbs;
+    int target_is_cev = is_cevent(target);
+    if (target_is_cev) {
+        cbs = ((CEvent *)target)->callbacks;
+        if (cbs == NULL)
+            cbs = Py_None;
+        Py_INCREF(cbs);
+    }
+    else {
+        cbs = PyObject_GetAttr(target, str_callbacks);
+        if (cbs == NULL) {
+            if (!PyErr_ExceptionMatches(PyExc_AttributeError)) {
+                Py_DECREF(target);
+                return -1;
+            }
+            PyErr_Clear();
+            PyObject *msg = PyUnicode_FromFormat(
+                "process %R yielded non-event %R", p->name, target);
+            Py_DECREF(target);
+            if (msg == NULL)
+                return -1;
+            PyObject *error = PyObject_CallOneArg(E_simerror, msg);
+            Py_DECREF(msg);
+            if (error == NULL)
+                return -1;
+            PyObject *closed = PyObject_CallMethodNoArgs(p->generator, str_close);
+            if (closed == NULL) {
+                Py_DECREF(error);
+                return -1;
+            }
+            Py_DECREF(closed);
+            process_finish(p);
+            int r = process_trigger(p, error, 0);
+            Py_DECREF(error);
+            return r;
+        }
+    }
+
+    Py_XSETREF(p->target, target);           /* steals target ref */
+
+    int r = 0;
+    if (cbs == Py_None) {
+        if (target_is_cev) {
+            Py_INCREF(p);
+            Py_XSETREF(((CEvent *)target)->callbacks, (PyObject *)p);
+        }
+        else
+            r = PyObject_SetAttr(target, str_callbacks, (PyObject *)p);
+    }
+    else if (cbs == S_processed) {
+        /* Target already processed: resume immediately at the current
+         * time (recursion mirrors the pure kernel; guard the C stack). */
+        if (Py_EnterRecursiveCall(" in Process resume"))
+            r = -1;
+        else {
+            r = process_resume(p, target);
+            Py_LeaveRecursiveCall();
+        }
+    }
+    else if (PyList_CheckExact(cbs))
+        r = PyList_Append(cbs, (PyObject *)p);
+    else {
+        PyObject *list = PyList_New(2);
+        if (list == NULL)
+            r = -1;
+        else {
+            PyList_SET_ITEM(list, 0, Py_NewRef(cbs));
+            PyList_SET_ITEM(list, 1, Py_NewRef((PyObject *)p));
+            if (target_is_cev)
+                Py_XSETREF(((CEvent *)target)->callbacks, list);
+            else {
+                r = PyObject_SetAttr(target, str_callbacks, list);
+                Py_DECREF(list);
+            }
+        }
+    }
+    Py_DECREF(cbs);
+    return r;
+}
+
+/* Create a pre-succeeded single-callback event on the fast lane
+ * (mirror of Environment._immediate). */
+static PyObject *
+immediate_event(PyObject *envobj, PyObject *callback)
+{
+    CEvent *ev = (CEvent *)event_new(&EventType, NULL, NULL);
+    if (ev == NULL)
+        return NULL;
+    Py_INCREF(envobj);
+    Py_XSETREF(ev->env, envobj);
+    Py_INCREF(Py_None);
+    Py_XSETREF(ev->value, Py_None);
+    Py_INCREF(callback);
+    Py_XSETREF(ev->callbacks, callback);
+    if (schedule_event(envobj, ev, 0.0) < 0) {
+        Py_DECREF(ev);
+        return NULL;
+    }
+    return (PyObject *)ev;
+}
+
+/* Shared by Process.__init__ and Environment.process(). */
+static int
+process_setup(CProcess *self, PyObject *env, PyObject *generator, PyObject *name)
+{
+    if (!PyObject_HasAttr(generator, str_send)) {
+        PyErr_SetString(E_simerror, "Process requires a generator");
+        return -1;
+    }
+    CEvent *ev = (CEvent *)self;
+    Py_INCREF(env);
+    Py_XSETREF(ev->env, env);
+    Py_INCREF(generator);
+    Py_XSETREF(self->generator, generator);
+    if (name == NULL || name == Py_None ||
+        (PyUnicode_Check(name) && PyUnicode_GET_LENGTH(name) == 0)) {
+        PyObject *gen_name = PyObject_GetAttr(generator, str_name_dunder);
+        if (gen_name == NULL) {
+            PyErr_Clear();
+            gen_name = PyUnicode_FromString("process");
+            if (gen_name == NULL)
+                return -1;
+        }
+        Py_XSETREF(self->name, gen_name);
+    }
+    else {
+        Py_INCREF(name);
+        Py_XSETREF(self->name, name);
+    }
+    /* Kick off the process at the current simulated time (fast lane). */
+    PyObject *kickoff = immediate_event(env, (PyObject *)self);
+    if (kickoff == NULL)
+        return -1;
+    Py_XSETREF(self->target, kickoff);
+    return 0;
+}
+
+static int
+process_init(PyObject *self, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {"env", "generator", "name", NULL};
+    PyObject *env, *generator, *name = NULL;
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "OO|O:Process", kwlist,
+                                     &env, &generator, &name))
+        return -1;
+    return process_setup((CProcess *)self, env, generator, name);
+}
+
+static PyObject *
+process_interrupt(PyObject *self, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {"cause", NULL};
+    PyObject *cause = Py_None;
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "|O:interrupt", kwlist, &cause))
+        return NULL;
+    CProcess *p = (CProcess *)self;
+    CEvent *ev = (CEvent *)self;
+    if (ev->value != S_pending)
+        Py_RETURN_NONE;
+    PyObject *interrupt = PyObject_CallOneArg(E_interrupt, cause);
+    if (interrupt == NULL)
+        return NULL;
+    Py_XSETREF(p->interrupted_by, interrupt);
+    PyObject *carrier = immediate_event(ev->env, (PyObject *)p);
+    if (carrier == NULL)
+        return NULL;
+    Py_DECREF(carrier);
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+process_call(PyObject *self, PyObject *args, PyObject *kwds)
+{
+    /* Foreign-dispatcher entry point: ``callback(event)``. */
+    PyObject *event;
+    if (!PyArg_ParseTuple(args, "O", &event))
+        return NULL;
+    if (process_resume((CProcess *)self, event) < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+process_get_is_alive(PyObject *self, void *closure)
+{
+    return PyBool_FromLong(((CEvent *)self)->value == S_pending);
+}
+
+static int
+process_traverse(PyObject *self, visitproc visit, void *arg)
+{
+    CProcess *p = (CProcess *)self;
+    Py_VISIT(p->name);
+    Py_VISIT(p->generator);
+    Py_VISIT(p->interrupted_by);
+    Py_VISIT(p->target);
+    return event_traverse(self, visit, arg);
+}
+
+static int
+process_clear(PyObject *self)
+{
+    CProcess *p = (CProcess *)self;
+    Py_CLEAR(p->name);
+    Py_CLEAR(p->generator);
+    Py_CLEAR(p->interrupted_by);
+    Py_CLEAR(p->target);
+    return event_clear(self);
+}
+
+static void
+process_dealloc(PyObject *self)
+{
+    PyObject_GC_UnTrack(self);
+    process_clear(self);
+    Py_TYPE(self)->tp_free(self);
+}
+
+static PyMethodDef process_methods[] = {
+    {"interrupt", (PyCFunction)process_interrupt, METH_VARARGS | METH_KEYWORDS,
+     "Throw Interrupt into the process at the current time."},
+    {NULL}
+};
+
+static PyGetSetDef process_getset[] = {
+    {"is_alive", process_get_is_alive, NULL,
+     "True while the generator has not finished.", NULL},
+    {NULL}
+};
+
+static PyMemberDef process_members[] = {
+    {"name", T_OBJECT, offsetof(CProcess, name), 0, "process name"},
+    {NULL}
+};
+
+static PyTypeObject ProcessType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.sim._ckernel.Process",
+    .tp_basicsize = sizeof(CProcess),
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_BASETYPE | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "Wraps a generator and drives it through the events it yields.",
+    .tp_base = &EventType,
+    .tp_init = process_init,
+    .tp_call = process_call,
+    .tp_dealloc = process_dealloc,
+    .tp_traverse = process_traverse,
+    .tp_clear = process_clear,
+    .tp_methods = process_methods,
+    .tp_getset = process_getset,
+    .tp_members = process_members,
+};
+
+/* ------------------------------------------------------------------ */
+/* Environment                                                         */
+/* ------------------------------------------------------------------ */
+
+static PyObject *
+env_new(PyTypeObject *type, PyObject *args, PyObject *kwds)
+{
+    if (!CONFIGURED()) {
+        PyErr_SetString(PyExc_RuntimeError,
+                        "_ckernel is not configured; import repro.sim.engine first");
+        return NULL;
+    }
+    CEnv *self = (CEnv *)type->tp_alloc(type, 0);
+    if (self == NULL)
+        return NULL;
+    self->now = 0.0;
+    self->heap = PyList_New(0);
+    if (self->heap == NULL) {
+        Py_DECREF(self);
+        return NULL;
+    }
+    self->lane = NULL;
+    self->lane_head = self->lane_len = self->lane_cap = 0;
+    self->counter = 0;
+    return (PyObject *)self;
+}
+
+static int
+env_init(PyObject *self, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {"initial_time", NULL};
+    double initial_time = 0.0;
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "|d:Environment", kwlist,
+                                     &initial_time))
+        return -1;
+    ((CEnv *)self)->now = initial_time;
+    return 0;
+}
+
+static int
+env_traverse(PyObject *self, visitproc visit, void *arg)
+{
+    CEnv *env = (CEnv *)self;
+    Py_VISIT(env->heap);
+    for (Py_ssize_t i = 0; i < env->lane_len; i++)
+        Py_VISIT(env->lane[(env->lane_head + i) % env->lane_cap]);
+    return 0;
+}
+
+static int
+env_clear_slots(PyObject *self)
+{
+    CEnv *env = (CEnv *)self;
+    Py_CLEAR(env->heap);
+    if (env->lane != NULL) {
+        for (Py_ssize_t i = 0; i < env->lane_len; i++)
+            Py_CLEAR(env->lane[(env->lane_head + i) % env->lane_cap]);
+        PyMem_Free(env->lane);
+        env->lane = NULL;
+        env->lane_head = env->lane_len = env->lane_cap = 0;
+    }
+    return 0;
+}
+
+static void
+env_dealloc(PyObject *self)
+{
+    PyObject_GC_UnTrack(self);
+    env_clear_slots(self);
+    Py_TYPE(self)->tp_free(self);
+}
+
+static PyObject *
+env_event(PyObject *self, PyObject *noarg)
+{
+    CEvent *ev = (CEvent *)event_new(&EventType, NULL, NULL);
+    if (ev == NULL)
+        return NULL;
+    Py_INCREF(self);
+    Py_XSETREF(ev->env, self);
+    return (PyObject *)ev;
+}
+
+static PyObject *
+env_timeout(PyObject *self, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {"delay", "value", NULL};
+    double delay;
+    PyObject *value = Py_None;
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "d|O:timeout", kwlist,
+                                     &delay, &value))
+        return NULL;
+    CTimeout *t = (CTimeout *)event_new(&TimeoutType, NULL, NULL);
+    if (t == NULL)
+        return NULL;
+    if (timeout_setup(t, self, delay, value) < 0) {
+        Py_DECREF(t);
+        return NULL;
+    }
+    return (PyObject *)t;
+}
+
+static PyObject *
+env_process(PyObject *self, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {"generator", "name", NULL};
+    PyObject *generator, *name = NULL;
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "O|O:process", kwlist,
+                                     &generator, &name))
+        return NULL;
+    CProcess *p = (CProcess *)event_new(&ProcessType, NULL, NULL);
+    if (p == NULL)
+        return NULL;
+    if (process_setup(p, self, generator, name) < 0) {
+        Py_DECREF(p);
+        return NULL;
+    }
+    return (PyObject *)p;
+}
+
+static PyObject *
+env_immediate(PyObject *self, PyObject *callback)
+{
+    return immediate_event(self, callback);
+}
+
+static PyObject *
+env_succeed_all(PyObject *self, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {"events", "value", NULL};
+    PyObject *events, *value = Py_None;
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "O|O:succeed_all", kwlist,
+                                     &events, &value))
+        return NULL;
+    CEnv *env = (CEnv *)self;
+    PyObject *seq = PySequence_Fast(events, "succeed_all expects a sequence of events");
+    if (seq == NULL)
+        return NULL;
+    Py_ssize_t n = PySequence_Fast_GET_SIZE(seq);
+    PyObject **items = PySequence_Fast_ITEMS(seq);
+    /* Validate the whole batch before mutating anything (a partial batch
+     * would hang its waiters forever). */
+    for (Py_ssize_t i = 0; i < n; i++) {
+        PyObject *ev = items[i];
+        if (is_cevent(ev)) {
+            if (((CEvent *)ev)->value != S_pending) {
+                PyErr_SetString(E_simerror, "event already triggered");
+                Py_DECREF(seq);
+                return NULL;
+            }
+        }
+        else {
+            PyObject *v = PyObject_GetAttr(ev, str_value_u);
+            if (v == NULL) {
+                Py_DECREF(seq);
+                return NULL;
+            }
+            int pending = (v == S_pending);
+            Py_DECREF(v);
+            if (!pending) {
+                PyErr_SetString(E_simerror, "event already triggered");
+                Py_DECREF(seq);
+                return NULL;
+            }
+        }
+    }
+    for (Py_ssize_t i = 0; i < n; i++) {
+        PyObject *ev = items[i];
+        if (is_cevent(ev)) {
+            Py_INCREF(value);
+            Py_XSETREF(((CEvent *)ev)->value, value);
+        }
+        else if (PyObject_SetAttr(ev, str_value_u, value) < 0) {
+            Py_DECREF(seq);
+            return NULL;
+        }
+    }
+    if (n == 0) {
+        Py_DECREF(seq);
+        Py_RETURN_NONE;
+    }
+    if (n == 1) {
+        PyObject *ev = items[0];
+        int r;
+        if (is_cevent(ev))
+            r = schedule_fast(env, (CEvent *)ev);
+        else {
+            PyObject *s = PyLong_FromLongLong(env->counter++);
+            if (s == NULL)
+                r = -1;
+            else {
+                r = PyObject_SetAttr(ev, str_seq, s);
+                Py_DECREF(s);
+                if (r == 0)
+                    r = lane_append(env, ev);
+            }
+        }
+        Py_DECREF(seq);
+        if (r < 0)
+            return NULL;
+        Py_RETURN_NONE;
+    }
+    PyObject *copy = PySequence_List(events);
+    Py_DECREF(seq);
+    if (copy == NULL)
+        return NULL;
+    CBatchWakeup *b = (CBatchWakeup *)event_new(&BatchWakeupType, NULL, NULL);
+    if (b == NULL) {
+        Py_DECREF(copy);
+        return NULL;
+    }
+    int r = batchwakeup_setup(b, self, copy);
+    Py_DECREF(copy);
+    Py_DECREF(b);
+    if (r < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+env_schedule(PyObject *self, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {"event", "delay", NULL};
+    PyObject *event;
+    double delay = 0.0;
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "O|d:_schedule", kwlist,
+                                     &event, &delay))
+        return NULL;
+    CEnv *env = (CEnv *)self;
+    if (is_cevent(event)) {
+        int r = (delay == 0.0) ? schedule_fast(env, (CEvent *)event)
+                               : schedule_heap(env, event, delay);
+        if (r < 0)
+            return NULL;
+        Py_RETURN_NONE;
+    }
+    if (delay == 0.0) {
+        PyObject *s = PyLong_FromLongLong(env->counter++);
+        if (s == NULL)
+            return NULL;
+        int r = PyObject_SetAttr(event, str_seq, s);
+        Py_DECREF(s);
+        if (r < 0 || lane_append(env, event) < 0)
+            return NULL;
+        Py_RETURN_NONE;
+    }
+    if (schedule_heap(env, event, delay) < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+env_next_seq(PyObject *self, PyObject *noarg)
+{
+    return PyLong_FromLongLong(((CEnv *)self)->counter++);
+}
+
+static PyObject *
+env_fast_append(PyObject *self, PyObject *event)
+{
+    /* Caller has already assigned _seq (the shared scheduling protocol). */
+    if (lane_append((CEnv *)self, event) < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+env_fast_is_next(PyObject *self, PyObject *noarg)
+{
+    CEnv *env = (CEnv *)self;
+    if (env->lane_len == 0) {
+        PyErr_SetString(PyExc_IndexError, "fast lane is empty");
+        return NULL;
+    }
+    if (PyList_GET_SIZE(env->heap) == 0)
+        Py_RETURN_TRUE;
+    double t;
+    long long s;
+    if (heap_key(PyList_GET_ITEM(env->heap, 0), &t, &s) < 0)
+        return NULL;
+    int err;
+    long long lane_seq = event_seq(lane_peek(env), &err);
+    if (err)
+        return NULL;
+    return PyBool_FromLong(t > env->now || s > lane_seq);
+}
+
+static PyObject *
+env_peek(PyObject *self, PyObject *noarg)
+{
+    CEnv *env = (CEnv *)self;
+    if (env->lane_len)
+        return PyFloat_FromDouble(env->now);
+    if (PyList_GET_SIZE(env->heap)) {
+        double t;
+        long long s;
+        if (heap_key(PyList_GET_ITEM(env->heap, 0), &t, &s) < 0)
+            return NULL;
+        return PyFloat_FromDouble(t);
+    }
+    return PyFloat_FromDouble(Py_HUGE_VAL);
+}
+
+/* Pop the globally next event, advancing the clock.  Returns an owned
+ * reference, NULL with an error set, or NULL with no error when the queue
+ * is drained (*drained = 1).  When ``has_until`` and the next heap event
+ * lies beyond ``until`` (lane empty), *past_until is set and NULL is
+ * returned with no error. */
+static PyObject *
+env_pop_next(CEnv *env, int has_until, double until, int *drained, int *past_until)
+{
+    *drained = 0;
+    *past_until = 0;
+    Py_ssize_t heap_n = PyList_GET_SIZE(env->heap);
+    if (env->lane_len) {
+        if (heap_n) {
+            double t;
+            long long s;
+            if (heap_key(PyList_GET_ITEM(env->heap, 0), &t, &s) < 0)
+                return NULL;
+            int err;
+            long long lane_seq = event_seq(lane_peek(env), &err);
+            if (err)
+                return NULL;
+            if (t <= env->now && s < lane_seq) {
+                PyObject *entry = heappop_c(env->heap);
+                if (entry == NULL)
+                    return NULL;
+                env->now = t;
+                PyObject *ev = PyTuple_GET_ITEM(entry, 2);
+                Py_INCREF(ev);
+                Py_DECREF(entry);
+                return ev;
+            }
+        }
+        return lane_popleft(env);
+    }
+    if (heap_n) {
+        double t;
+        long long s;
+        if (heap_key(PyList_GET_ITEM(env->heap, 0), &t, &s) < 0)
+            return NULL;
+        if (has_until && t > until) {
+            *past_until = 1;
+            return NULL;
+        }
+        PyObject *entry = heappop_c(env->heap);
+        if (entry == NULL)
+            return NULL;
+        env->now = t;
+        PyObject *ev = PyTuple_GET_ITEM(entry, 2);
+        Py_INCREF(ev);
+        Py_DECREF(entry);
+        return ev;
+    }
+    *drained = 1;
+    return NULL;
+}
+
+static PyObject *
+env_step(PyObject *self, PyObject *noarg)
+{
+    CEnv *env = (CEnv *)self;
+    int drained, past_until;
+    PyObject *ev = env_pop_next(env, 0, 0.0, &drained, &past_until);
+    if (ev == NULL) {
+        if (drained)
+            PyErr_SetString(E_simerror, "step() on an empty event queue");
+        return NULL;
+    }
+    int r = fire_event(ev);
+    Py_DECREF(ev);
+    if (r < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+env_run(PyObject *self, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {"until", NULL};
+    PyObject *until_obj = Py_None;
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "|O:run", kwlist, &until_obj))
+        return NULL;
+    CEnv *env = (CEnv *)self;
+    int has_until = (until_obj != Py_None);
+    double until = 0.0;
+    if (has_until) {
+        until = PyFloat_AsDouble(until_obj);
+        if (until == -1.0 && PyErr_Occurred())
+            return NULL;
+        if (until < env->now) {
+            PyErr_SetString(E_simerror, "cannot run into the past");
+            return NULL;
+        }
+    }
+    for (;;) {
+        int drained, past_until;
+        PyObject *ev = env_pop_next(env, has_until, until, &drained, &past_until);
+        if (ev == NULL) {
+            if (PyErr_Occurred())
+                return NULL;
+            if (past_until) {
+                env->now = until;
+                return PyFloat_FromDouble(until);
+            }
+            break;  /* drained */
+        }
+        int r = fire_event(ev);
+        Py_DECREF(ev);
+        if (r < 0)
+            return NULL;
+    }
+    if (has_until)
+        env->now = until;
+    return PyFloat_FromDouble(env->now);
+}
+
+static PyObject *
+env_run_all(PyObject *self, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {"max_events", NULL};
+    long long max_events = 50000000LL;
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "|L:run_all", kwlist,
+                                     &max_events))
+        return NULL;
+    CEnv *env = (CEnv *)self;
+    long long processed = 0;
+    for (;;) {
+        int drained, past_until;
+        PyObject *ev = env_pop_next(env, 0, 0.0, &drained, &past_until);
+        if (ev == NULL) {
+            if (PyErr_Occurred())
+                return NULL;
+            break;  /* drained */
+        }
+        int r = fire_event(ev);
+        Py_DECREF(ev);
+        if (r < 0)
+            return NULL;
+        if (++processed > max_events) {
+            PyErr_SetString(E_simerror,
+                            "simulation did not terminate (event budget exceeded)");
+            return NULL;
+        }
+    }
+    return PyFloat_FromDouble(env->now);
+}
+
+static PyObject *
+env_get_now(PyObject *self, void *closure)
+{
+    return PyFloat_FromDouble(((CEnv *)self)->now);
+}
+
+static PyObject *
+env_get_raw_now(PyObject *self, void *closure)
+{
+    return PyFloat_FromDouble(((CEnv *)self)->now);
+}
+
+static int
+env_set_raw_now(PyObject *self, PyObject *v, void *closure)
+{
+    if (v == NULL) {
+        PyErr_SetString(PyExc_AttributeError, "cannot delete _now");
+        return -1;
+    }
+    double d = PyFloat_AsDouble(v);
+    if (d == -1.0 && PyErr_Occurred())
+        return -1;
+    ((CEnv *)self)->now = d;
+    return 0;
+}
+
+static PyObject *
+env_get_queue(PyObject *self, void *closure)
+{
+    return Py_NewRef(((CEnv *)self)->heap);
+}
+
+static PyMethodDef env_methods[] = {
+    {"event", env_event, METH_NOARGS, "Create a fresh untriggered event."},
+    {"timeout", (PyCFunction)env_timeout, METH_VARARGS | METH_KEYWORDS,
+     "Create an event firing after ``delay``."},
+    {"process", (PyCFunction)env_process, METH_VARARGS | METH_KEYWORDS,
+     "Spawn a process driving ``generator``."},
+    {"succeed_all", (PyCFunction)env_succeed_all, METH_VARARGS | METH_KEYWORDS,
+     "Trigger every event in ``events`` at the current time (batched)."},
+    {"peek", env_peek, METH_NOARGS,
+     "Time of the next scheduled event, or inf if the queue is empty."},
+    {"step", env_step, METH_NOARGS, "Process the next event in the queue."},
+    {"run", (PyCFunction)env_run, METH_VARARGS | METH_KEYWORDS,
+     "Run until simulated time ``until`` (or until the queue drains)."},
+    {"run_all", (PyCFunction)env_run_all, METH_VARARGS | METH_KEYWORDS,
+     "Drain the queue entirely (bounded by ``max_events``)."},
+    {"_immediate", env_immediate, METH_O,
+     "Run ``callback`` at the current time via the fast-dispatch lane."},
+    {"_schedule", (PyCFunction)env_schedule, METH_VARARGS | METH_KEYWORDS,
+     "Schedule a triggered event after ``delay``."},
+    {"_next_seq", env_next_seq, METH_NOARGS, "Draw the next sequence number."},
+    {"_fast_append", env_fast_append, METH_O,
+     "Append an event (with ``_seq`` already set) to the fast lane."},
+    {"_fast_is_next", env_fast_is_next, METH_NOARGS,
+     "True when the fast lane holds the globally next event."},
+    {NULL}
+};
+
+static PyGetSetDef env_getset[] = {
+    {"now", env_get_now, NULL, "Current simulated time.", NULL},
+    {"_now", env_get_raw_now, env_set_raw_now, NULL, NULL},
+    {"_queue", env_get_queue, NULL, "The (time, seq, event) heap list.", NULL},
+    {NULL}
+};
+
+static PyTypeObject EnvType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.sim._ckernel.Environment",
+    .tp_basicsize = sizeof(CEnv),
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_BASETYPE | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "The simulation clock and event queue (compiled kernel).",
+    .tp_new = env_new,
+    .tp_init = env_init,
+    .tp_dealloc = env_dealloc,
+    .tp_traverse = env_traverse,
+    .tp_clear = env_clear_slots,
+    .tp_methods = env_methods,
+    .tp_getset = env_getset,
+};
+
+/* ------------------------------------------------------------------ */
+/* module                                                              */
+/* ------------------------------------------------------------------ */
+
+static PyObject *
+mod_configure(PyObject *self, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {"pending", "processed", "interrupt",
+                             "simulation_error", NULL};
+    PyObject *pending, *processed, *interrupt, *simerror;
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "OOOO:_configure", kwlist,
+                                     &pending, &processed, &interrupt,
+                                     &simerror))
+        return NULL;
+    Py_INCREF(pending);
+    Py_XSETREF(S_pending, pending);
+    Py_INCREF(processed);
+    Py_XSETREF(S_processed, processed);
+    Py_INCREF(interrupt);
+    Py_XSETREF(E_interrupt, interrupt);
+    Py_INCREF(simerror);
+    Py_XSETREF(E_simerror, simerror);
+    Py_RETURN_NONE;
+}
+
+static PyMethodDef module_methods[] = {
+    {"_configure", (PyCFunction)mod_configure, METH_VARARGS | METH_KEYWORDS,
+     "Inject the shared sentinels and exception types (called by engine.py)."},
+    {NULL}
+};
+
+static struct PyModuleDef ckernel_module = {
+    PyModuleDef_HEAD_INIT,
+    .m_name = "repro.sim._ckernel",
+    .m_doc = "Compiled scheduler kernel (see repro.sim.engine for selection).",
+    .m_size = -1,
+    .m_methods = module_methods,
+};
+
+static int
+intern_strings(void)
+{
+#define INTERN(var, s) if ((var = PyUnicode_InternFromString(s)) == NULL) return -1
+    INTERN(str_callbacks, "callbacks");
+    INTERN(str_seq, "_seq");
+    INTERN(str_value_u, "_value");
+    INTERN(str_ok_u, "_ok");
+    INTERN(str_throw, "throw");
+    INTERN(str_close, "close");
+    INTERN(str_send, "send");
+    INTERN(str_name_dunder, "__name__");
+    INTERN(str_next_seq, "_next_seq");
+    INTERN(str_fast_append, "_fast_append");
+    INTERN(str_queue_u, "_queue");
+    INTERN(str_now_u, "_now");
+#undef INTERN
+    return 0;
+}
+
+PyMODINIT_FUNC
+PyInit__ckernel(void)
+{
+    if (intern_strings() < 0)
+        return NULL;
+    if (PyType_Ready(&EventType) < 0 ||
+        PyType_Ready(&TimeoutType) < 0 ||
+        PyType_Ready(&BatchWakeupType) < 0 ||
+        PyType_Ready(&ProcessType) < 0 ||
+        PyType_Ready(&EnvType) < 0)
+        return NULL;
+    PyObject *m = PyModule_Create(&ckernel_module);
+    if (m == NULL)
+        return NULL;
+    if (PyModule_AddObjectRef(m, "Event", (PyObject *)&EventType) < 0 ||
+        PyModule_AddObjectRef(m, "Timeout", (PyObject *)&TimeoutType) < 0 ||
+        PyModule_AddObjectRef(m, "BatchWakeup", (PyObject *)&BatchWakeupType) < 0 ||
+        PyModule_AddObjectRef(m, "Process", (PyObject *)&ProcessType) < 0 ||
+        PyModule_AddObjectRef(m, "Environment", (PyObject *)&EnvType) < 0 ||
+        PyModule_AddStringConstant(m, "BACKEND", "c") < 0) {
+        Py_DECREF(m);
+        return NULL;
+    }
+    return m;
+}

@@ -83,3 +83,51 @@ def test_cli_rejects_bad_jobs_and_unknown_figures(tmp_path):
         run_cli("--jobs", "0", "--scale", TINY)
     with pytest.raises(SystemExit):
         run_cli("--only", "fig99", "--scale", TINY)
+
+
+def test_cli_lists_engine_backends(capsys):
+    from repro.sim import engine
+
+    assert run_cli("--list", "engines") == 0
+    out = capsys.readouterr().out
+    for name in engine.BACKENDS:
+        assert name in out
+    assert "[selected]" in out
+
+
+def test_cli_engine_matching_loaded_backend_is_a_noop(tmp_path, capsys):
+    from repro.sim import engine
+
+    code = run_cli(
+        "--engine", engine.ENGINE_BACKEND,
+        "--only", "fig09", "--scale", TINY,
+        "--cache-dir", str(tmp_path / "cache"),
+        "--quiet-progress",
+    )
+    assert code == 0
+    assert "Figure 9" in capsys.readouterr().out
+
+
+def test_cli_emits_engine_backend_in_meta(tmp_path):
+    from repro.sim import engine
+
+    artifact = tmp_path / "figures.json"
+    assert run_cli(
+        "--only", "fig09", "--scale", TINY,
+        "--cache-dir", str(tmp_path / "cache"),
+        "--emit-json", str(artifact),
+        "--quiet-progress",
+    ) == 0
+    data = json.loads(artifact.read_text())
+    assert data["meta"]["engine_backend"] == engine.ENGINE_BACKEND
+
+
+def test_cli_engine_mismatch_errors_for_programmatic_calls(tmp_path):
+    """main(argv) cannot re-exec; a backend mismatch must error cleanly."""
+    from repro.sim import engine
+
+    other = "py" if engine.ENGINE_BACKEND == "c" else "c"
+    if other == "c" and engine.load_ckernel() is None:
+        pytest.skip("compiled kernel unavailable; mismatch path needs both")
+    with pytest.raises(SystemExit):
+        run_cli("--engine", other, "--list", "figures")
