@@ -62,18 +62,33 @@ from repro.bench.micro import MICRO_BENCHMARKS  # noqa: E402
 from repro.sim.engine import ENGINE_BACKEND  # noqa: E402
 
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_substrate.json"
-# v3: adds ``engine_backend`` metadata (which scheduler kernel produced the
-# samples); perf ratios against a baseline from the other backend are
-# informational, not regressions.
-SCHEMA_VERSION = 3
+# v4: adds the fixed-seed *open-loop* end-to-end row (Poisson arrivals at
+# 0.8x of measured saturation) and stamps each row's arrival mode.  v3 added
+# ``engine_backend`` metadata (which scheduler kernel produced the samples);
+# perf ratios against a baseline from the other backend are informational,
+# not regressions.
+SCHEMA_VERSION = 4
 
-#: Fixed-seed end-to-end rows measured next to the micro benches.
-E2E_WORKLOADS = ("ycsb", "tpcc")
+#: Fixed-seed end-to-end rows measured next to the micro benches:
+#: ``(row_name, workload, arrival)`` — ``arrival=None`` is the closed loop,
+#: a dict is an :class:`repro.arrivals.ArrivalSpec` JSON form.
+E2E_ROWS = (
+    ("ycsb_small", "ycsb", None),
+    ("tpcc_small", "tpcc", None),
+    ("ycsb_openloop_small", "ycsb", {"kind": "poisson", "rate_tps": 176_000.0}),
+)
 #: Correctness fields of an end-to-end row (machine-independent, enforced).
 E2E_CORRECTNESS_KEYS = ("committed", "aborted", "network_messages", "final_env_now")
 
 
-def run_e2e_small(workload: str) -> dict:
+def _arrival_stamp(arrival) -> str:
+    if arrival is None:
+        return "closed"
+    rate = arrival.get("rate_tps")
+    return f"{arrival['kind']}@{rate:g}tps" if rate else arrival["kind"]
+
+
+def run_e2e_small(workload: str, arrival=None) -> dict:
     """One fixed-seed small-scale end-to-end run (perf + correctness)."""
     from repro.bench.runner import SCALES, build_workload
     from repro.cluster.cluster import Cluster
@@ -87,12 +102,13 @@ def run_e2e_small(workload: str) -> dict:
         workers_per_partition=scale.workers_per_partition,
         inflight_per_worker=scale.inflight_per_worker,
     )
-    cluster = Cluster(config, build_workload(scale, workload))
+    cluster = Cluster(config, build_workload(scale, workload), arrival=arrival)
     start = time.perf_counter()
     result = cluster.run()
     wall_s = time.perf_counter() - start
     return {
         "wall_s": round(wall_s, 4),
+        "arrival": _arrival_stamp(arrival),
         "committed": result.metrics.committed,
         "aborted": result.metrics.aborted,
         "network_messages": result.network_messages,
@@ -100,18 +116,18 @@ def run_e2e_small(workload: str) -> dict:
     }
 
 
-def measure_e2e(workload: str, repeats: int) -> dict:
+def measure_e2e(row_name: str, workload: str, arrival, repeats: int) -> dict:
     """Best-of-``repeats`` wall clock; correctness fields must not vary."""
     best = None
     for _ in range(max(1, repeats)):
-        sample = run_e2e_small(workload)
+        sample = run_e2e_small(workload, arrival)
         if best is None:
             best = sample
             continue
         for key in E2E_CORRECTNESS_KEYS:
             if best[key] != sample[key]:
                 raise SystemExit(
-                    f"DETERMINISM FAIL: {workload}_small.{key} varied across "
+                    f"DETERMINISM FAIL: {row_name}.{key} varied across "
                     f"repeats ({best[key]} vs {sample[key]}) — fixed-seed runs "
                     "must be reproducible within one process."
                 )
@@ -157,13 +173,13 @@ def measure(repeats: int) -> dict:
             best = max(best, n / elapsed)
         samples["micro"][name] = {"ops_per_s": round(best, 1), "n": n}
         print(f"  {name:<16} {best:>14,.0f} ops/s")
-    for workload in E2E_WORKLOADS:
-        row_name = f"{workload}_small"
-        row = measure_e2e(workload, repeats)
+    for row_name, workload, arrival in E2E_ROWS:
+        row = measure_e2e(row_name, workload, arrival, repeats)
         samples[row_name] = row
         print(
-            f"  {row_name:<16} {row['wall_s']:>12.3f} s   "
-            f"(committed={row['committed']}, aborted={row['aborted']})"
+            f"  {row_name:<20} {row['wall_s']:>12.3f} s   "
+            f"(committed={row['committed']}, aborted={row['aborted']}, "
+            f"arrival={row['arrival']})"
         )
     return samples
 
@@ -196,13 +212,15 @@ def check(current: dict, baseline: dict, tolerance: float) -> tuple[int, list[st
         )
         print(f"note: {note}")
         summary.append(f"| engine backend | ℹ️ {note} |")
-    for workload in E2E_WORKLOADS:
-        row_name = f"{workload}_small"
+    for row_name, workload, arrival in E2E_ROWS:
+        stamp = _arrival_stamp(arrival)
         base_row = baseline.get(row_name)
         cur_row = current[row_name]
         if base_row is None:
             print(f"correctness: {row_name} has no baseline row (new) — skipping")
-            summary.append(f"| `{row_name}` correctness | ➕ no baseline row (new) |")
+            summary.append(
+                f"| `{row_name}` ({stamp}) correctness | ➕ no baseline row (new) |"
+            )
             continue
         row_failures = 0
         for key in E2E_CORRECTNESS_KEYS:
@@ -216,10 +234,12 @@ def check(current: dict, baseline: dict, tolerance: float) -> tuple[int, list[st
                     "in this commit."
                 )
         if row_failures:
-            summary.append(f"| `{row_name}` correctness | ❌ **{row_failures} field(s) drifted** |")
+            summary.append(
+                f"| `{row_name}` ({stamp}) correctness | ❌ **{row_failures} field(s) drifted** |"
+            )
         else:
             print(f"correctness: {row_name} OK (counts, message totals and final clock match)")
-            summary.append(f"| `{row_name}` correctness | ✅ match |")
+            summary.append(f"| `{row_name}` ({stamp}) correctness | ✅ match |")
         base_wall = base_row.get("wall_s")
         if base_wall:
             ratio = base_wall / cur_row["wall_s"] if cur_row["wall_s"] else 1.0
@@ -230,8 +250,8 @@ def check(current: dict, baseline: dict, tolerance: float) -> tuple[int, list[st
                 status, marker = "REGRESSION (soft)", "⚠️ **soft regression**"
             else:
                 status, marker = "ok", "✅"
-            print(f"perf: {row_name:<16} {ratio:6.2f}x wall-clock vs baseline — {status}")
-            summary.append(f"| `{row_name}` wall clock | {marker} {ratio:.2f}x vs baseline |")
+            print(f"perf: {row_name:<20} {ratio:6.2f}x wall-clock vs baseline — {status}")
+            summary.append(f"| `{row_name}` ({stamp}) wall clock | {marker} {ratio:.2f}x vs baseline |")
 
     base_micro = baseline.get("micro", {})
     for name, sample in current["micro"].items():

@@ -32,6 +32,7 @@ for code that wants to assemble a cluster by hand.
 # pre-1.3 entries, so the version bump retires old orchestrator caches.
 __version__ = "1.3.0"
 
+from .arrivals import ArrivalSpec, arrival
 from .cluster import Cluster, RunResult, Server, SystemConfig
 from .cluster.config import DURABILITY_SCHEMES, PROTOCOLS
 from .core import (
@@ -42,12 +43,14 @@ from .core import (
 )
 from .faults import FaultEvent, FaultPlan, fault
 from .registry import (
+    ARRIVAL_REGISTRY,
     DURABILITY_REGISTRY,
     FAULT_REGISTRY,
     FIGURE_REGISTRY,
     PROTOCOL_REGISTRY,
     SCALE_REGISTRY,
     WORKLOAD_REGISTRY,
+    register_arrival,
     register_durability,
     register_fault,
     register_figure,
@@ -75,7 +78,9 @@ from .workloads import (
 WORKLOADS = WORKLOAD_REGISTRY.names_view()
 
 __all__ = [
+    "ARRIVAL_REGISTRY",
     "AnalysisParameters",
+    "ArrivalSpec",
     "BenchScale",
     "Cluster",
     "ConflictRateModel",
@@ -109,8 +114,10 @@ __all__ = [
     "YCSBConfig",
     "YCSBWorkload",
     "__version__",
+    "arrival",
     "build",
     "fault",
+    "register_arrival",
     "register_durability",
     "register_fault",
     "register_figure",

@@ -7,7 +7,8 @@ missing.  ``--emit-json`` writes the per-figure data dictionaries plus sweep
 accounting as a machine-readable artifact (used by the figures-smoke CI job).
 
 The registries are the CLI's source of truth: ``--list protocols`` (or
-``workloads``/``durability``/``figures``/``scales``/``faults``/``engines``) prints
+``workloads``/``durability``/``figures``/``scales``/``faults``/``arrivals``/
+``engines``) prints
 everything currently registered — including extensions registered by imported
 user code — and ``--scenario file.json`` runs declarative
 :class:`~repro.scenario.ScenarioSpec` documents — fault plans and workload
@@ -26,6 +27,7 @@ from pathlib import Path
 
 from ..sim import engine as sim_engine
 from ..registry import (
+    ARRIVAL_REGISTRY,
     DURABILITY_REGISTRY,
     FAULT_REGISTRY,
     FIGURE_REGISTRY,
@@ -65,6 +67,9 @@ LISTINGS = {
     "faults": lambda: [
         (e.name, _fault_blurb(e)) for e in FAULT_REGISTRY.entries()
     ],
+    "arrivals": lambda: [
+        (e.name, _arrival_blurb(e)) for e in ARRIVAL_REGISTRY.entries()
+    ],
     "engines": lambda: _engine_rows(),
 }
 
@@ -80,6 +85,13 @@ def _engine_rows() -> list[tuple[str, str]]:
         ("py", _mark("py", status["py"])),
         ("c", _mark("c", status["c"])),
     ]
+
+
+def _arrival_blurb(entry) -> str:
+    description = entry.metadata.get("description", "")
+    params = entry.metadata.get("params", {})
+    suffix = f"[params: {', '.join(params)}]" if params else ""
+    return " ".join(part for part in (description, suffix) if part)
 
 
 def _fault_blurb(entry) -> str:

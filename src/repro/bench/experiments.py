@@ -25,6 +25,7 @@ from typing import Callable, Optional
 
 from ..core.analysis import AnalysisParameters, ConflictRateModel
 from ..registry import FIGURE_REGISTRY
+from ..scenario import ScenarioSpec, sweep as scenario_sweep
 from ..sim.stats import BREAKDOWN_COMPONENTS
 from .orchestrator import Cell, make_cell, run_cells
 from .report import print_header, print_table
@@ -46,6 +47,7 @@ __all__ = [
     "fig13_lagging",
     "fig14_scalability",
     "fig15_tapir",
+    "openloop_curves",
     "appendix_analysis",
 ]
 
@@ -742,6 +744,112 @@ def appendix_analysis(scale: BenchScale = SCALES["small"], *,
 
 
 # ---------------------------------------------------------------------------
+# Open-loop load curves (ROADMAP item 1 — not a paper figure)
+# ---------------------------------------------------------------------------
+
+#: Protocols compared on the offered-load sweep.
+OPENLOOP_PROTOCOLS = ("2pl_nw", "sundial", "primo")
+
+#: Offered load as fractions of the measured saturation anchor; thinned per
+#: scale by ``sweep_values`` like every other sweep.
+OPENLOOP_LOAD_FRACTIONS = (0.5, 0.8, 1.0, 1.2)
+
+#: Measured closed-loop saturation (committed tps, primo on YCSB, fixed seed)
+#: per scale — the 1.0x anchor of the offered-load sweep.  Measured 2026-08
+#: from the fixed-seed runs behind ``scripts/bench_gate.py`` (e.g. small:
+#: 4447 committed / 20 ms ≈ 222 kTPS).
+OPENLOOP_SATURATION_TPS = {"tiny": 90_000.0, "small": 220_000.0}
+
+
+def openloop_saturation_tps(scale: BenchScale) -> float:
+    """The sweep's 1.0x offered-load anchor for ``scale``.
+
+    Unmeasured scales extrapolate from the small anchor by execution width
+    (workers × inflight) — a nominal anchor: the curves still show the knee,
+    it just may not sit exactly at 1.0x.
+    """
+    rate = OPENLOOP_SATURATION_TPS.get(scale.name)
+    if rate is not None:
+        return rate
+    small = SCALES["small"]
+    width = scale.workers_per_partition * scale.inflight_per_worker
+    small_width = small.workers_per_partition * small.inflight_per_worker
+    return OPENLOOP_SATURATION_TPS["small"] * width / small_width
+
+
+def _openloop_keys(fractions: list) -> list[str]:
+    return [f"{protocol}@x{fraction:g}"
+            for protocol in OPENLOOP_PROTOCOLS for fraction in fractions]
+
+
+def openloop_plan(scale: BenchScale) -> list[Cell]:
+    """One Poisson offered-load point per (protocol, fraction) — a plain
+    ``repro.sweep`` over the ``arrival`` axis."""
+    fractions = sweep_values(list(OPENLOOP_LOAD_FRACTIONS), scale)
+    saturation = openloop_saturation_tps(scale)
+    base = ScenarioSpec(protocol="primo", workload="ycsb", scale=scale)
+    specs = scenario_sweep(
+        base,
+        protocol=list(OPENLOOP_PROTOCOLS),
+        arrival=[{"kind": "poisson", "rate_tps": saturation * fraction}
+                 for fraction in fractions],
+    )
+    return [Cell("openloop", key, spec)
+            for key, spec in zip(_openloop_keys(fractions), specs)]
+
+
+def openloop_render(scale: BenchScale, results: dict) -> dict:
+    """Throughput-vs-offered-load plus p50/p99/p999 latency curves."""
+    fractions = sweep_values(list(OPENLOOP_LOAD_FRACTIONS), scale)
+    saturation = openloop_saturation_tps(scale)
+    print_header(
+        "Open loop: throughput and latency vs offered load (Poisson arrivals)",
+        "latency includes admission queueing; the tail explodes past 1.0x of saturation",
+    )
+    data: dict = {
+        "saturation_tps": saturation,
+        "offered_tps": [saturation * fraction for fraction in fractions],
+        "protocols": {},
+    }
+    for protocol in OPENLOOP_PROTOCOLS:
+        series = {"achieved_ktps": [], "p50_ms": [], "p99_ms": [],
+                  "p999_ms": [], "dropped": []}
+        rows = []
+        for fraction in fractions:
+            result = results[f"{protocol}@x{fraction:g}"]
+            dropped = result.metrics.counters.get("arrivals_dropped")
+            series["achieved_ktps"].append(result.throughput_ktps)
+            series["p50_ms"].append(result.p50_latency_ms)
+            series["p99_ms"].append(result.p99_latency_ms)
+            series["p999_ms"].append(result.p999_latency_ms)
+            series["dropped"].append(dropped)
+            rows.append((
+                f"{fraction:g}x",
+                saturation * fraction / 1000.0,
+                result.throughput_ktps,
+                result.p50_latency_ms,
+                result.p99_latency_ms,
+                result.p999_latency_ms,
+                dropped,
+            ))
+        print(f"\n  {protocol}")
+        print_table(
+            ["offered", "offered kTPS", "kTPS", "p50 ms", "p99 ms", "p999 ms",
+             "dropped"],
+            rows,
+        )
+        data["protocols"][protocol] = series
+    return data
+
+
+def openloop_curves(scale: BenchScale = SCALES["small"], *,
+                    results: Optional[dict] = None) -> dict:
+    """Open-loop offered-load sweep: throughput and tail-latency curves."""
+    cells = openloop_plan(scale)
+    return openloop_render(scale, _execute_inline(cells, results))
+
+
+# ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
 
@@ -777,6 +885,9 @@ _register_figure("fig12", fig12_plan, fig12_render, "watermark interval / epoch 
 _register_figure("fig13", fig13_plan, fig13_render, "lagging watermarks, slow partition")
 _register_figure("fig14", fig14_plan, fig14_render, "scalability with partitions")
 _register_figure("fig15", fig15_plan, fig15_render, "comparison with TAPIR")
+_register_figure("openloop", openloop_plan, openloop_render,
+                 "throughput + p50/p99/p999 latency vs offered load "
+                 "(open-loop Poisson arrivals)")
 _register_figure("appendix", appendix_plan, appendix_render,
                  "analytical conflict-rate model")
 
@@ -800,5 +911,6 @@ ALL_EXPERIMENTS = {
     "fig13": fig13_lagging,
     "fig14": fig14_scalability,
     "fig15": fig15_tapir,
+    "openloop": openloop_curves,
     "appendix": appendix_analysis,
 }

@@ -70,11 +70,14 @@ __all__ = [
 #: coexist on CI.
 SUBSTRATE_VERSION = _REPRO_VERSION
 
-#: Version of the on-disk cache file format itself.  v3: spec JSON grew the
-#: declarative ``faults`` plan (and workload mixes), so fault schedules and
-#: mix weights are part of every cell's cache identity.  v2: cells carry a
-#: ScenarioSpec and cache keys hash its canonical JSON.
-CACHE_SCHEMA_VERSION = 3
+#: Version of the on-disk cache file format itself.  v4: spec JSON can carry
+#: an open-loop ``arrival`` process (omitted for closed-loop specs, whose
+#: cache keys are therefore unchanged); stale v3 caches degrade to misses.
+#: v3: spec JSON grew the declarative ``faults`` plan (and workload mixes),
+#: so fault schedules and mix weights are part of every cell's cache
+#: identity.  v2: cells carry a ScenarioSpec and cache keys hash its
+#: canonical JSON.
+CACHE_SCHEMA_VERSION = 4
 
 
 @dataclass(frozen=True)
@@ -126,6 +129,7 @@ def make_cell(
     workload: str = "ycsb",
     workload_overrides: Optional[dict] = None,
     faults=None,
+    arrival=None,
     durability_message_delay: Optional[tuple] = None,
     network_extra_delay_to: Optional[tuple] = None,
     **config_overrides,
@@ -146,6 +150,7 @@ def make_cell(
             workload_overrides=workload_overrides or {},
             config_overrides=config_overrides,
             faults=faults,
+            arrival=arrival,
             durability_message_delay=durability_message_delay,
             network_extra_delay_to=network_extra_delay_to,
         ),

@@ -22,6 +22,7 @@ import gc
 from collections import defaultdict
 from typing import Optional
 
+from ..arrivals import AdmissionQueue, ArrivalSpec, start_open_loop
 from ..commit import create_durability_scheme
 from ..faults import FaultPlan, FaultScheduler, compile_legacy_faults
 from ..protocols import create_protocol
@@ -47,14 +48,23 @@ class Cluster:
     ``faults`` is an optional declarative :class:`~repro.faults.FaultPlan`
     (or a list of fault events); the legacy ``config.crash_partition`` /
     ``config.crash_time_us`` knobs are compiled onto the same plan, so both
-    spellings share one injection path.
+    spellings share one injection path.  ``arrival`` is an optional
+    :class:`~repro.arrivals.ArrivalSpec` (or its kind name / JSON form)
+    selecting an open-loop arrival process; ``None`` — and the explicit
+    ``"closed"`` kind — run the historical closed-loop worker pool
+    bit-identically.
     """
 
     def __init__(self, config: SystemConfig, workload: Workload,
-                 faults: Optional[FaultPlan] = None):
+                 faults: Optional[FaultPlan] = None,
+                 arrival: Optional[ArrivalSpec] = None):
         config.validate()
         self.config = config
         self.workload = workload
+        self.arrival = ArrivalSpec.coerce(arrival)
+        # Per-partition open-loop admission queues (empty for closed loops);
+        # their drop/depth accounting folds into ``counters`` at run end.
+        self.admission_queues: dict[int, AdmissionQueue] = {}
         self.env = Environment()
         self.network = Network(
             self.env,
@@ -69,6 +79,11 @@ class Cluster:
 
         # Protocol first (its lock policy configures the partitions' lock managers).
         self.protocol = create_protocol(config.protocol, self)
+        if self.arrival is not None and self.protocol.runs_own_loop:
+            raise ValueError(
+                f"protocol {config.protocol!r} drives its own execution loop "
+                "and does not support open-loop arrivals"
+            )
         self.servers: dict[int, Server] = {
             p: Server(self, p, self.protocol.lock_policy)
             for p in range(config.n_partitions)
@@ -167,6 +182,9 @@ class Cluster:
         if self.protocol.runs_own_loop:
             self.env.process(self.protocol.run_loop(), name="protocol-loop")
             return
+        if self.arrival is not None:
+            start_open_loop(self)
+            return
         for partition_id, server in self.servers.items():
             for worker_id in range(self.config.workers_per_partition):
                 for fiber_id in range(self.config.inflight_per_worker):
@@ -223,6 +241,16 @@ class Cluster:
             gc.set_threshold(*gc_thresholds)
             gc.unfreeze()
         self.metrics.duration_us = self._measure_end - self._measure_start
+        if self.admission_queues:
+            # Fold the open-loop admission accounting into the run's counters
+            # so it survives the RunResult JSON round trip (orchestrator cache).
+            queues = self.admission_queues.values()
+            self.counters.increment("arrivals_offered",
+                                    sum(q.offered for q in queues))
+            self.counters.increment("arrivals_dropped",
+                                    sum(q.dropped for q in queues))
+            self.counters.increment("admission_queue_peak_depth",
+                                    max(q.peak_depth for q in queues))
         self.metrics.counters.merge(self.counters)
         return RunResult(
             protocol=self.config.protocol,

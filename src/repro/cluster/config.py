@@ -69,6 +69,14 @@ class SystemConfig:
     # -- Aria ---------------------------------------------------------------
     aria_batch_size_per_partition: int = 20
 
+    # -- open-loop admission --------------------------------------------------
+    # Bound of the per-partition queue between open-loop arrival streams and
+    # the service fibers (closed-loop runs never queue).  Arrivals beyond a
+    # full queue are dropped and counted (``arrivals_dropped`` in the run's
+    # counters): under sustained overload the cluster sheds load instead of
+    # queueing unboundedly.
+    admission_queue_depth: int = 10_000
+
     # -- run control ---------------------------------------------------------
     warmup_us: float = 20_000.0
     duration_us: float = 200_000.0
@@ -99,6 +107,8 @@ class SystemConfig:
             raise ValueError("duration_us must be positive")
         if self.epoch_length_us <= 0:
             raise ValueError("epoch_length_us must be positive")
+        if self.admission_queue_depth < 1:
+            raise ValueError("admission_queue_depth must be >= 1")
 
     # -- derived quantities ----------------------------------------------------
     @property

@@ -67,8 +67,16 @@ class RunResult:
         return self.metrics.mean_latency_ms
 
     @property
+    def p50_latency_ms(self) -> float:
+        return self.metrics.p50_latency_ms
+
+    @property
     def p99_latency_ms(self) -> float:
         return self.metrics.p99_latency_ms
+
+    @property
+    def p999_latency_ms(self) -> float:
+        return self.metrics.p999_latency_ms
 
     @property
     def breakdown_us(self) -> dict:

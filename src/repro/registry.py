@@ -45,6 +45,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Mapping, Optional, Sequence
 
 __all__ = [
+    "ARRIVAL_REGISTRY",
     "DURABILITY_REGISTRY",
     "FAULT_REGISTRY",
     "FIGURE_REGISTRY",
@@ -57,6 +58,7 @@ __all__ = [
     "RegistryMapping",
     "RegistryNames",
     "UnknownNameError",
+    "register_arrival",
     "register_durability",
     "register_fault",
     "register_figure",
@@ -296,6 +298,13 @@ FAULT_REGISTRY = Registry("fault type", ensure_modules=("repro.faults",))
 #: Entry: the BenchScale instance itself.
 SCALE_REGISTRY = Registry("scale", ensure_modules=("repro.scales",))
 
+#: Arrival processes (traffic shapes) usable as ``ScenarioSpec.arrival``.
+#: Entry: the arrival-process class (a ``gaps(ctx)`` staticmethod generator —
+#: see :mod:`repro.arrivals`); metadata: ``params`` (optional parameter name
+#: -> default), ``open_loop`` (``False`` only for the built-in closed loop)
+#: and ``description``.
+ARRIVAL_REGISTRY = Registry("arrival process", ensure_modules=("repro.arrivals",))
+
 
 def register_protocol(name: str, *, default_durability: str = "coco",
                       description: str = "", replace: bool = False) -> Callable:
@@ -362,6 +371,37 @@ def register_fault(name: str, *, params: Sequence[str] = (),
         name, replace=replace,
         params=tuple(params), windowed=bool(windowed),
         requires_membership=bool(requires_membership), description=description,
+    )
+
+
+#: ArrivalSpec field names an arrival kind's parameters must not collide with
+#: (spec JSON documents flatten parameters next to these).
+_ARRIVAL_RESERVED_FIELDS = frozenset({"kind", "rate_tps", "component_rates"})
+
+
+def register_arrival(name: str, *, params: Optional[Mapping[str, Any]] = None,
+                     open_loop: bool = True, description: str = "",
+                     replace: bool = False) -> Callable:
+    """Class decorator registering an arrival process (traffic shape).
+
+    The class must expose a ``gaps(ctx)`` staticmethod: a generator yielding
+    inter-arrival gaps in simulated microseconds for one arrival stream (the
+    ``ctx`` is an :class:`repro.arrivals.ArrivalContext`).  It may also expose
+    ``check_params(params)`` to validate parameter *values* eagerly.
+    ``params`` maps the kind's optional parameters to their defaults; an
+    :class:`repro.arrivals.ArrivalSpec` naming this kind validates its
+    parameters against them at construction, with did-you-mean hints.
+    """
+    params = dict(params or {})
+    collisions = _ARRIVAL_RESERVED_FIELDS.intersection(params)
+    if collisions:
+        raise ValueError(
+            f"arrival process {name!r} declares reserved parameter name(s) "
+            f"{', '.join(sorted(map(repr, collisions)))}"
+        )
+    return ARRIVAL_REGISTRY.register(
+        name, replace=replace,
+        params=params, open_loop=bool(open_loop), description=description,
     )
 
 

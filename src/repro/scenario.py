@@ -39,6 +39,7 @@ import json
 from dataclasses import dataclass, fields
 from typing import Any, Iterable, Mapping, Optional
 
+from .arrivals import ArrivalSpec
 from .cluster.cluster import Cluster
 from .cluster.config import SystemConfig
 from .cluster.results import RunResult
@@ -134,6 +135,13 @@ class ScenarioSpec:
     workload_overrides: tuple = ()
     #: Declarative fault plan (``None`` = no injection).
     faults: Optional[FaultPlan] = None
+    #: Arrival process (:class:`~repro.arrivals.ArrivalSpec`, its kind name,
+    #: or its JSON dict form).  ``None`` — and the explicit ``"closed"`` kind,
+    #: which normalizes to ``None`` — is the historical closed loop; open
+    #: kinds (``poisson``/``deterministic``/``bursty``) turn the run into an
+    #: offered-load sweep point.  Omitted from the JSON form when ``None`` so
+    #: legacy scenarios keep their orchestrator cache keys.
+    arrival: Optional[ArrivalSpec] = None
     #: Legacy shim — (partition_id, delay_us); compiles to a zero-time
     #: ``message_delay`` fault event (Fig. 13a's lagging control messages).
     durability_message_delay: Optional[tuple] = None
@@ -203,6 +211,26 @@ class ScenarioSpec:
                 tuple((name, overrides[name]) for name in sorted(overrides)),
             )
         set_field("faults", FaultPlan.coerce(self.faults))
+        set_field("arrival", ArrivalSpec.coerce(self.arrival))
+        if self.arrival is not None and self.arrival.component_rates:
+            # Validated here rather than in ArrivalSpec because only the
+            # scenario sees both the rates and the mix they must name.
+            if self.workload != "mixed":
+                raise ValueError(
+                    "arrival component_rates require the 'mixed' workload; "
+                    f"got workload {self.workload!r}"
+                )
+            components = dict(self.workload_overrides).get("components", ())
+            names = tuple(name for name, _, _ in components)
+            unknown = [name for name, _ in self.arrival.component_rates
+                       if name not in names]
+            if unknown:
+                raise ValueError(
+                    f"arrival component_rates name unknown mix component(s) "
+                    f"{', '.join(map(repr, unknown))}"
+                    f"{suggestion_hint(unknown[0], names)}; mix components: "
+                    f"{', '.join(names)}"
+                )
         set_field(
             "durability_message_delay",
             _freeze_delay("durability_message_delay", self.durability_message_delay),
@@ -230,7 +258,7 @@ class ScenarioSpec:
                 return [plain(item) for item in value]
             return value
 
-        return {
+        data = {
             "protocol": self.protocol,
             "workload": self.workload,
             "durability": self.durability,
@@ -241,6 +269,11 @@ class ScenarioSpec:
             "durability_message_delay": plain(self.durability_message_delay),
             "network_extra_delay_to": plain(self.network_extra_delay_to),
         }
+        if self.arrival is not None:
+            # Omitted when None (the closed loop) so pre-arrival scenarios
+            # serialize — and cache-key — exactly as they always did.
+            data["arrival"] = self.arrival.to_json_dict()
+        return data
 
     @classmethod
     def from_json_dict(cls, data: Mapping) -> "ScenarioSpec":
@@ -336,11 +369,13 @@ def sweep(base: ScenarioSpec, **axes: Iterable) -> list[ScenarioSpec]:
         sweep(base, protocol=["primo", "sundial"], zipf_theta=[0.0, 0.6, 0.9])
 
     returns 6 validated specs, protocol-major (last axis fastest).  Fault
-    plans and workload mixes are ordinary axes::
+    plans, workload mixes and arrival processes are ordinary axes::
 
         sweep(base,
               faults=[None, [{"kind": "crash", "at_us": 40_000, "target": 1}]],
               workload=[{"ycsb": 1.0}, {"ycsb": 0.7, "tatp": 0.3}])
+        sweep(base, arrival=[{"kind": "poisson", "rate_tps": r}
+                             for r in (100_000, 150_000, 200_000)])
     """
     names = list(axes)
     value_lists = [list(axes[name]) for name in names]
@@ -405,7 +440,7 @@ def build(spec: ScenarioSpec) -> Cluster:
         # Legacy knobs apply before the plan's own zero-time events, matching
         # the pre-plan application point (right after cluster construction).
         plan = FaultPlan(events=tuple(shimmed)).extend(plan.events)
-    return Cluster(config, workload, faults=plan)
+    return Cluster(config, workload, faults=plan, arrival=spec.arrival)
 
 
 def run(spec: ScenarioSpec) -> RunResult:

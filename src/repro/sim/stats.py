@@ -153,6 +153,11 @@ class LatencyRecorder:
         return self.percentile(99)
 
     @property
+    def p999(self) -> float:
+        """99.9th percentile — the tail the open-loop load curves report."""
+        return self.percentile(99.9)
+
+    @property
     def max(self) -> float:
         if not self._samples:
             return 0.0
@@ -304,8 +309,16 @@ class RunMetrics:
         return self.latency.mean / 1000.0
 
     @property
+    def p50_latency_ms(self) -> float:
+        return self.latency.p50 / 1000.0
+
+    @property
     def p99_latency_ms(self) -> float:
         return self.latency.p99 / 1000.0
+
+    @property
+    def p999_latency_ms(self) -> float:
+        return self.latency.p999 / 1000.0
 
     def summary(self) -> dict:
         """Flat dictionary used by the bench report printers."""

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Generator
+from typing import TYPE_CHECKING, Callable, Generator, Optional
 
 from ..sim.randgen import DeterministicRandom, derive_seed, stable_hash
 
@@ -32,11 +32,33 @@ class TransactionSpec:
 
 
 class TxnSource(abc.ABC):
-    """An endless, deterministic stream of transactions for one worker fiber."""
+    """An endless, deterministic stream of transactions for one worker fiber.
+
+    Draw-order contract
+    -------------------
+    A source owns its RNG(s), and each ``next()`` call consumes the underlying
+    uniform stream in a fixed, documented pattern — nothing else may draw from
+    the stream between calls.  Callers in turn pin *when* ``next()`` runs: the
+    closed loop draws once per transaction it starts, and the open loop
+    (:mod:`repro.arrivals`) draws exactly once per arrival, at enqueue time,
+    in arrival order.  Both schedules are fully determined by the run seed,
+    so fixed-seed transaction sequences are reproducible across interpreter
+    processes, pool workers and engine backends.
+    """
 
     @abc.abstractmethod
     def next(self) -> TransactionSpec:
         """Produce the next transaction specification."""
+
+    def set_hot_skew(self, theta: Optional[float]) -> None:
+        """Shift the stream's key-popularity skew mid-run (flash crowds).
+
+        ``theta`` selects the new skew; ``None`` restores the configured
+        baseline.  The default is a no-op: sources without a tunable
+        key-popularity notion ignore the shift.  Implementations must keep
+        drawing from the source's own RNG so the draw-order contract above
+        (and with it fixed-seed determinism) holds across the shift.
+        """
 
 
 class Workload(abc.ABC):

@@ -158,6 +158,23 @@ class MixedWorkload(Workload):
             cumulative.append((upto, workload.make_source(cluster, partition_id, stream_id)))
         return MixedSource(selector, cumulative, self._total_weight)
 
+    def component_source(self, cluster: "Cluster", partition_id: int,
+                         stream_id: int, name: str) -> TxnSource:
+        """A transaction stream for one named component.
+
+        Used by open-loop ``component_rates`` shaping (:mod:`repro.arrivals`):
+        each component becomes its own arrival stream, drawing from the same
+        per-component stream family a blended :meth:`make_source` would use.
+        """
+        for component_name, _, workload in self.components:
+            if component_name == name:
+                return workload.make_source(cluster, partition_id, stream_id)
+        choices = tuple(component_name for component_name, _, _ in self.components)
+        raise ValueError(
+            f"unknown mix component {name!r}{suggestion_hint(name, choices)}; "
+            f"components: {', '.join(choices)}"
+        )
+
 
 class MixedSource(TxnSource):
     """One uniform draw picks the component; the component produces the txn."""
@@ -174,3 +191,7 @@ class MixedSource(TxnSource):
                 return source.next()
         # u == total after float scaling: the last component wins.
         return self._cumulative[-1][1].next()
+
+    def set_hot_skew(self, theta) -> None:
+        for _, source in self._cumulative:
+            source.set_hot_skew(theta)

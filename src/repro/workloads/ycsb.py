@@ -77,6 +77,13 @@ class YCSBSource(TxnSource):
         )
         self.n_partitions = cluster.config.n_partitions
 
+    def set_hot_skew(self, theta) -> None:
+        # A fresh Zipf table over the same key space, fed by the *same* RNG:
+        # the uniform stream keeps its pinned draw order across the shift.
+        config = self.workload.config
+        target = config.zipf_theta if theta is None else float(theta)
+        self.zipf = ZipfGenerator(config.keys_per_partition, target, self.rng)
+
     def next(self) -> TransactionSpec:
         # The RNG draw sequence below is pinned by the determinism goldens:
         # distributed flag, remote slot draws, then per slot key/kind draws.

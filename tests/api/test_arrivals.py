@@ -1,0 +1,276 @@
+"""Tests of the open-loop traffic engine (`repro.arrivals`).
+
+Covers the contractual properties of :class:`repro.ArrivalSpec` and the
+open-loop runtime:
+
+* **eager validation** — unknown kinds/parameters raise at construction with
+  did-you-mean hints; closed kinds reject rates; open kinds require one;
+* **closed-loop normalization** — ``arrival="closed"`` coerces to ``None``,
+  serializes identically to a legacy scenario (cache-key preservation) and
+  reproduces pre-arrival fixed-seed counts byte-identically;
+* **JSON round trip** — flat form, ``from_json_dict(to_json_dict(s)) == s``;
+* **runtime semantics** — queueing latency is measured from arrival time,
+  full admission queues shed load, bursty skew shifts are deterministic, and
+  per-component rate shaping drives mixed workloads.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import ScenarioSpec
+from repro.arrivals import CLOSED, AdmissionQueue, ArrivalSpec, arrival
+from repro.cluster.cluster import Cluster
+from repro.registry import ARRIVAL_REGISTRY, UnknownNameError
+from repro.scenario import build, sweep
+from tests.conftest import tiny_config, tiny_ycsb
+
+
+def fingerprint(result) -> tuple:
+    """Everything that must match for two runs to count as bit-identical."""
+    return (
+        result.committed,
+        result.aborted,
+        result.metrics.crash_aborted,
+        result.network_messages,
+        tuple(result.metrics.latency.samples),
+        tuple(sorted(result.abort_reasons.items())),
+        tuple(sorted(result.per_txn_type.items())),
+    )
+
+
+def run_open_tiny(arrival_value, protocol: str = "primo", **overrides):
+    cluster = Cluster(tiny_config(protocol, **overrides), tiny_ycsb(),
+                      arrival=arrival_value)
+    return cluster, cluster.run()
+
+
+# ---------------------------------------------------------------------------
+# Eager validation
+# ---------------------------------------------------------------------------
+
+def test_builtin_kinds_are_registered():
+    names = {entry.name for entry in ARRIVAL_REGISTRY.entries()}
+    assert {"closed", "poisson", "deterministic", "bursty"} <= names
+
+
+def test_unknown_kind_fails_with_suggestion():
+    with pytest.raises(UnknownNameError, match="did you mean 'poisson'"):
+        ArrivalSpec(kind="posson", rate_tps=1000.0)
+
+
+def test_unknown_parameter_fails_with_suggestion():
+    with pytest.raises(ValueError, match="burst_factor"):
+        arrival("bursty", 1000.0, burst_facter=2.0)
+    # Kinds without parameters say so.
+    with pytest.raises(ValueError, match="unknown parameter"):
+        arrival("poisson", 1000.0, burstiness=2.0)
+
+
+def test_closed_kind_rejects_rate_and_params():
+    with pytest.raises(ValueError, match="closed-loop"):
+        ArrivalSpec(kind=CLOSED, rate_tps=1000.0)
+
+
+def test_open_kind_requires_an_offered_load():
+    with pytest.raises(ValueError, match="rate_tps or component_rates"):
+        ArrivalSpec(kind="poisson")
+    with pytest.raises(ValueError, match="positive"):
+        arrival("poisson", -5.0)
+    with pytest.raises(ValueError, match="not both"):
+        ArrivalSpec(kind="poisson", rate_tps=1000.0,
+                    component_rates=(("ycsb", 500.0),))
+
+
+def test_bursty_parameter_ranges_are_checked():
+    with pytest.raises(ValueError, match="burst_start_frac"):
+        arrival("bursty", 1000.0, burst_start_frac=0.8, burst_end_frac=0.2)
+    with pytest.raises(ValueError, match="burst_factor"):
+        arrival("bursty", 1000.0, burst_factor=0.0)
+    with pytest.raises(ValueError, match="hot_theta"):
+        arrival("bursty", 1000.0, hot_theta=1.5)
+
+
+def test_coerce_normalizes_the_closed_loop_to_none():
+    assert ArrivalSpec.coerce(None) is None
+    assert ArrivalSpec.coerce("closed") is None
+    assert ArrivalSpec.coerce({"kind": "closed"}) is None
+    spec = ArrivalSpec.coerce({"kind": "poisson", "rate_tps": 1000})
+    assert spec == arrival("poisson", 1000.0)
+    with pytest.raises(TypeError, match="ArrivalSpec"):
+        ArrivalSpec.coerce(42)
+
+
+# ---------------------------------------------------------------------------
+# JSON round trip & cache-key preservation
+# ---------------------------------------------------------------------------
+
+def test_arrival_spec_json_round_trip_is_exact():
+    for spec in (
+        arrival("poisson", 150_000),
+        arrival("deterministic", 80_000.0),
+        arrival("bursty", 50_000, burst_factor=6.0, hot_theta=0.95),
+        ArrivalSpec(kind="poisson",
+                    component_rates={"ycsb": 1000.0, "tatp": 250}),
+    ):
+        data = spec.to_json_dict()
+        assert ArrivalSpec.from_json_dict(data) == spec
+        # Parameters sit flat next to the spec fields (FaultEvent style).
+        assert "params" not in data
+
+
+def test_int_and_float_rates_build_equal_specs():
+    assert arrival("poisson", 1000) == arrival("poisson", 1000.0)
+    assert (arrival("bursty", 1000, burst_factor=4)
+            == arrival("bursty", 1000.0, burst_factor=4.0))
+
+
+def test_explicit_closed_scenario_serializes_like_a_legacy_one():
+    """``arrival="closed"`` must not perturb orchestrator cache keys."""
+    legacy = ScenarioSpec(protocol="primo", scale="tiny")
+    explicit = ScenarioSpec(protocol="primo", scale="tiny", arrival="closed")
+    assert explicit.canonical_json() == legacy.canonical_json()
+    assert "arrival" not in legacy.to_json_dict()
+
+
+def test_scenario_spec_round_trips_the_arrival():
+    spec = ScenarioSpec(
+        protocol="primo", scale="tiny",
+        arrival={"kind": "bursty", "rate_tps": 60_000, "hot_theta": 0.9},
+    )
+    again = ScenarioSpec.from_json(spec.to_json())
+    assert again == spec
+    assert again.arrival.effective_params()["hot_theta"] == 0.9
+
+
+def test_component_rates_require_a_mixed_workload_with_those_components():
+    with pytest.raises(ValueError, match="require the 'mixed' workload"):
+        ScenarioSpec(protocol="primo", workload="ycsb",
+                     arrival={"kind": "poisson",
+                              "component_rates": {"ycsb": 1000}})
+    with pytest.raises(ValueError, match="did you mean 'tatp'"):
+        ScenarioSpec(
+            protocol="primo", workload="mixed",
+            workload_overrides={"components": [["ycsb", 0.7], ["tatp", 0.3]]},
+            arrival={"kind": "poisson", "component_rates": {"tapt": 1000}},
+        )
+
+
+def test_sweep_accepts_the_arrival_axis():
+    base = ScenarioSpec(protocol="primo", scale="tiny")
+    specs = sweep(base, arrival=[
+        None,
+        {"kind": "poisson", "rate_tps": 40_000},
+        {"kind": "poisson", "rate_tps": 80_000},
+    ])
+    assert [s.arrival.rate_tps if s.arrival else None for s in specs] == [
+        None, 40_000.0, 80_000.0]
+
+
+# ---------------------------------------------------------------------------
+# Closed-loop bit-identity
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("workload", ["ycsb", "tpcc"])
+def test_explicit_closed_reproduces_legacy_fixed_seed_counts(workload):
+    legacy = repro.run(ScenarioSpec(protocol="primo", workload=workload,
+                                    scale="tiny"))
+    explicit = repro.run(ScenarioSpec(protocol="primo", workload=workload,
+                                      scale="tiny", arrival="closed"))
+    assert fingerprint(explicit) == fingerprint(legacy)
+
+
+# ---------------------------------------------------------------------------
+# Open-loop runtime semantics
+# ---------------------------------------------------------------------------
+
+def test_open_loop_run_counts_offered_arrivals():
+    cluster, result = run_open_tiny(arrival("poisson", 50_000))
+    offered = result.metrics.counters.get("arrivals_offered")
+    assert result.committed > 0
+    assert offered >= result.committed + result.metrics.counters.get(
+        "arrivals_dropped")
+    # ~17 ms of run at 50k tps: the offered count tracks the rate.
+    assert 500 <= offered <= 1_200
+    assert set(cluster.admission_queues) == set(cluster.servers)
+
+
+def test_open_loop_latency_includes_queueing():
+    _, result = run_open_tiny(arrival("poisson", 50_000))
+    assert result.metrics.breakdown.total("queue") > 0.0
+
+
+def test_full_admission_queue_sheds_load():
+    _, result = run_open_tiny(arrival("poisson", 400_000),
+                              admission_queue_depth=4)
+    counters = result.metrics.counters
+    assert counters.get("arrivals_dropped") > 0
+    assert counters.get("admission_queue_peak_depth") == 4
+
+
+def test_open_loop_is_deterministic_within_a_process():
+    _, first = run_open_tiny(arrival("bursty", 60_000, hot_theta=0.95))
+    _, second = run_open_tiny(arrival("bursty", 60_000, hot_theta=0.95))
+    assert fingerprint(first) == fingerprint(second)
+
+
+def test_bursty_hot_skew_shift_changes_the_outcome():
+    _, flat = run_open_tiny(arrival("bursty", 60_000))
+    _, skewed = run_open_tiny(arrival("bursty", 60_000, hot_theta=0.99))
+    assert fingerprint(flat) != fingerprint(skewed)
+
+
+def test_deterministic_arrivals_are_evenly_spaced():
+    _, result = run_open_tiny(arrival("deterministic", 50_000))
+    offered = result.metrics.counters.get("arrivals_offered")
+    # 17 ms x 50k tps, one stream per partition: exactly floor(17ms / 40us)
+    # arrivals per partition (the first arrival lands after one full gap).
+    assert offered == 2 * int(17_000 / 40)
+
+
+def test_own_loop_protocols_reject_open_loop_arrivals():
+    with pytest.raises(ValueError, match="drives its own execution loop"):
+        Cluster(tiny_config("aria"), tiny_ycsb(),
+                arrival=arrival("poisson", 50_000))
+
+
+def test_component_rates_drive_a_mixed_workload():
+    spec = ScenarioSpec(
+        protocol="primo", workload="mixed", scale="tiny",
+        workload_overrides={"components": [["ycsb", 0.7], ["tatp", 0.3]]},
+        arrival={"kind": "poisson",
+                 "component_rates": {"ycsb": 40_000, "tatp": 10_000}},
+    )
+    result = repro.run(spec)
+    assert result.committed > 0
+    per_type = dict(result.per_txn_type)
+    assert any(name.startswith("ycsb") for name in per_type)
+    assert any(name.startswith("tatp") for name in per_type)
+
+
+def test_admission_queue_wakes_waiters_in_fifo_order():
+    from repro.sim.engine import Environment
+
+    env = Environment()
+    queue = AdmissionQueue(env, capacity=2)
+    woken = []
+
+    def waiter(tag):
+        yield queue.wait()
+        woken.append(tag)
+
+    env.process(waiter("a"), name="a")
+    env.process(waiter("b"), name="b")
+
+    def feeder():
+        yield env.timeout(1.0)
+        assert queue.offer(env.now, "first") is True
+        assert queue.offer(env.now, "second") is True
+        assert queue.offer(env.now, "third") is False  # full -> dropped
+        yield env.timeout(1.0)
+
+    env.process(feeder(), name="feeder")
+    env.run(until=10.0)
+    assert woken == ["a", "b"]
+    assert (queue.offered, queue.dropped, queue.peak_depth) == (3, 1, 2)

@@ -85,6 +85,32 @@ def test_cli_rejects_bad_jobs_and_unknown_figures(tmp_path):
         run_cli("--only", "fig99", "--scale", TINY)
 
 
+def test_cli_lists_arrival_processes(capsys):
+    assert run_cli("--list", "arrivals") == 0
+    out = capsys.readouterr().out
+    for name in ("closed", "poisson", "deterministic", "bursty"):
+        assert name in out
+    assert "burst_factor" in out  # parameters are listed next to the kind
+
+
+def test_cli_runs_the_openloop_figure(tmp_path, capsys):
+    artifact = tmp_path / "figures.json"
+    code = run_cli(
+        "--figure", "openloop", "--scale", TINY,
+        "--cache-dir", str(tmp_path / "cache"),
+        "--emit-json", str(artifact),
+        "--quiet-progress",
+    )
+    assert code == 0
+    assert "Open loop" in capsys.readouterr().out
+    data = json.loads(artifact.read_text())["figures"]["openloop"]
+    assert len(data["protocols"]) >= 3
+    for series in data["protocols"].values():
+        assert len(series["achieved_ktps"]) == len(data["offered_tps"])
+        for key in ("p50_ms", "p99_ms", "p999_ms", "dropped"):
+            assert key in series
+
+
 def test_cli_lists_engine_backends(capsys):
     from repro.sim import engine
 

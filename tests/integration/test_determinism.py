@@ -20,13 +20,25 @@ committed ``BENCH_substrate.json``.
 
 import pytest
 
-from tests.conftest import run_tiny
+from repro.arrivals import arrival
+from repro.cluster.cluster import Cluster
+from tests.conftest import run_tiny, tiny_config, tiny_ycsb
 
 # protocol -> (committed, aborted, final simulated time).
 GOLDEN = {
     "primo": (420, 43, 23_000.0),
     "sundial": (254, 14, 23_000.0),
     "2pl_nw": (62, 16, 23_000.0),
+}
+
+# Open-loop Poisson arrivals at 50k tps over the same tiny configuration:
+# protocol -> (committed, aborted, arrivals offered, final simulated time).
+# The offered count is identical across protocols because the arrival streams
+# draw their gaps from their own seed-derived RNGs, independent of service.
+OPENLOOP_GOLDEN = {
+    "primo": (449, 42, 875, 23_000.0),
+    "sundial": (264, 15, 875, 23_000.0),
+    "2pl_nw": (193, 30, 875, 23_000.0),
 }
 
 
@@ -36,6 +48,18 @@ def test_fixed_seed_run_matches_golden_counts(protocol):
     committed, aborted, final_now = GOLDEN[protocol]
     assert result.metrics.committed == committed
     assert result.metrics.aborted == aborted
+    assert cluster.env.now == final_now
+
+
+@pytest.mark.parametrize("protocol", sorted(OPENLOOP_GOLDEN))
+def test_fixed_seed_open_loop_run_matches_golden_counts(protocol):
+    cluster = Cluster(tiny_config(protocol), tiny_ycsb(),
+                      arrival=arrival("poisson", 50_000))
+    result = cluster.run()
+    committed, aborted, offered, final_now = OPENLOOP_GOLDEN[protocol]
+    assert result.metrics.committed == committed
+    assert result.metrics.aborted == aborted
+    assert result.metrics.counters.get("arrivals_offered") == offered
     assert cluster.env.now == final_now
 
 

@@ -216,6 +216,20 @@ def test_latency_sorted_cache_invalidated_by_append():
     assert recorder.samples == [5.0, 1.0, 3.0, 0.5, 9.0]  # recording order kept
 
 
+def test_p999_is_deterministic_and_tracks_appends():
+    """The open-loop tail accessor: nearest-rank, cached, append-invalidated."""
+    recorder = LatencyRecorder()
+    assert recorder.p999 == 0.0
+    recorder.extend(float(v) for v in range(1, 1001))
+    assert recorder.p999 == 999.0  # nearest rank of 99.9% over 1000 samples
+    assert recorder.p999 == recorder.percentile(99.9)
+    assert recorder.p999 >= recorder.p99 >= recorder.p50
+    # A new maximum must invalidate the cached sorted view.
+    recorder.record(10_000.0)
+    assert recorder.p999 == 1000.0
+    assert recorder.max == 10_000.0
+
+
 def test_breakdown_json_round_trip_preserves_custom_components():
     timer = BreakdownTimer()
     timer.add("execute", 3.0)
