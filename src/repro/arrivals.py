@@ -14,9 +14,11 @@ throughput and the latency tail at 0.5x / 0.8x / 1.0x / 1.2x of saturation::
 
 Arrival kinds are registered through :func:`repro.registry.register_arrival`
 exactly like protocols and workloads; the built-ins are ``closed`` (the
-default — bit-identical to the historical worker loop), ``poisson``
-(memoryless arrivals), ``deterministic`` (evenly spaced), and ``bursty``
-(a flash crowd: a mid-run rate burst with an optional hot-key skew shift).
+default — bit-identical to the historical worker loop, with an optional
+``think_time_us`` pause turning it into the classic N-interactive-clients
+model), ``poisson`` (memoryless arrivals), ``deterministic`` (evenly
+spaced), and ``bursty`` (a flash crowd: a mid-run rate burst with an
+optional hot-key skew shift).
 ``component_rates`` shapes a :class:`~repro.workloads.mixed.MixedWorkload`
 per component — each named component becomes its own arrival stream with its
 own rate.
@@ -153,11 +155,15 @@ class ArrivalSpec:
         set_field("component_rates", _normalize_component_rates(self.component_rates))
 
         if not entry.metadata.get("open_loop", True):
-            if self.rate_tps is not None or self.params or self.component_rates:
+            if self.rate_tps is not None or self.component_rates:
                 raise ValueError(
                     f"arrival process {self.kind!r} is closed-loop and takes "
-                    "no rate_tps, parameters or component_rates"
+                    "no rate_tps or component_rates (its only knob is the "
+                    "registered parameters, e.g. think_time_us)"
                 )
+            check = getattr(entry.obj, "check_params", None)
+            if check is not None:
+                check(self.effective_params())
             return
         if self.rate_tps is not None:
             if self.component_rates:
@@ -217,9 +223,12 @@ class ArrivalSpec:
     def coerce(cls, value) -> Optional["ArrivalSpec"]:
         """``None`` | spec | kind name | JSON dict -> spec (or ``None``).
 
-        The closed loop normalizes to ``None``: ``arrival="closed"`` and
-        ``arrival=None`` build byte-identical clusters *and* serialize
-        identically, so legacy scenarios keep their orchestrator cache keys.
+        The *trivial* closed loop normalizes to ``None``: ``arrival="closed"``
+        (and an explicit ``think_time_us=0``) builds byte-identical clusters
+        *and* serializes identically to ``arrival=None``, so legacy scenarios
+        keep their orchestrator cache keys.  A closed loop with a positive
+        think time is a real spec — it changes the simulated traffic and
+        therefore the cache identity.
         """
         if value is None:
             return None
@@ -234,7 +243,9 @@ class ArrivalSpec:
                 f"arrival must be an ArrivalSpec, a kind name, or a JSON "
                 f"object, got {type(value).__name__}"
             )
-        return None if not spec.open_loop else spec
+        if spec.open_loop or spec.kind != CLOSED:
+            return spec
+        return spec if ClosedLoop.think_time_us(spec) > 0.0 else None
 
 
 def arrival(kind: str, rate_tps: Optional[float] = None, *,
@@ -282,11 +293,37 @@ class ArrivalContext:
 
 @register_arrival(
     CLOSED, open_loop=False,
-    description="fixed worker pool issuing transactions back-to-back "
-                "(the default; no offered-load rate)",
+    params={"think_time_us": 0.0},
+    description="fixed worker pool issuing transactions back-to-back (the "
+                "default); think_time_us > 0 adds the classic N-clients "
+                "interactive pause between a response and the next request",
 )
 class ClosedLoop:
-    """Marker entry: the closed loop runs through the historical worker path."""
+    """The closed loop runs through the historical worker path.
+
+    With the default ``think_time_us=0`` this is exactly the legacy
+    back-to-back worker pool (:meth:`ArrivalSpec.coerce` normalizes the spec
+    to ``None``, so results, JSON and orchestrator cache keys are untouched).
+    A positive think time turns each worker fiber into the classic
+    interactive-client model: after a transaction completes, the client
+    "thinks" for the fixed pause before issuing its next request, so offered
+    load scales with the client count *and* per-client latency
+    (N/(R + Z) in operational-law terms).
+    """
+
+    @staticmethod
+    def check_params(params: dict) -> None:
+        think = params["think_time_us"]
+        if (isinstance(think, bool) or not isinstance(think, (int, float))
+                or not think >= 0.0):
+            raise ValueError(
+                f"think_time_us must be a non-negative duration in simulated "
+                f"microseconds, got {think!r}"
+            )
+
+    @staticmethod
+    def think_time_us(spec: "ArrivalSpec") -> float:
+        return float(spec.effective_params()["think_time_us"])
 
 
 @register_arrival(

@@ -53,13 +53,17 @@ from ..scenario import run as _run_scenario
 
 __all__ = [
     "Cell",
+    "CacheGcReport",
     "NullCache",
     "ResultCache",
     "SweepOutcome",
     "SUBSTRATE_VERSION",
     "CACHE_SCHEMA_VERSION",
+    "collect_cache_garbage",
     "execute_cell",
+    "execute_cell_json",
     "make_cell",
+    "run_cached_cell",
     "run_cells",
 ]
 
@@ -189,9 +193,33 @@ def _profile_path(profile_dir: str, cell: Cell) -> str:
     return str(directory / f"{cell.figure}-{safe_key}-{cell.cache_key()[:8]}.pstats")
 
 
-def _pool_execute(cell: Cell, profile_dir: Optional[str] = None) -> dict:
-    """Pool-worker entry point: run a cell, ship the result back as JSON."""
+def execute_cell_json(cell: Cell, profile_dir: Optional[str] = None) -> dict:
+    """Run one cell and return its result's lossless JSON dict.
+
+    The pool-worker entry point of :func:`run_cells` and of the campaign
+    executor (:mod:`repro.campaign.executor`): the JSON form crosses the
+    process boundary, so pooled results are normalized exactly like cached
+    ones.
+    """
     return execute_cell(cell, profile_dir=profile_dir).to_json_dict()
+
+
+# Kept under the historical private name for pickling compatibility with
+# in-flight pools started by older call sites.
+_pool_execute = execute_cell_json
+
+
+def run_cached_cell(cell: Cell, cache, profile_dir: Optional[str] = None) -> RunResult:
+    """Execute one cell inline, persist it, and return the normalized result.
+
+    The single execute-and-store step shared by the inline path of
+    :func:`run_cells` and the campaign executor: the result is written to
+    ``cache`` atomically and handed back *through the JSON round trip*, so an
+    inline execution is indistinguishable from a cache hit or a pool result.
+    """
+    result_json = execute_cell(cell, profile_dir=profile_dir).to_json_dict()
+    cache.put(cell, result_json)
+    return RunResult.from_json_dict(result_json)
 
 
 class ResultCache:
@@ -203,14 +231,14 @@ class ResultCache:
     def path_for(self, cache_key: str) -> Path:
         return self.root / f"{cache_key}.json"
 
-    def get(self, cell: Cell) -> Optional[RunResult]:
-        """Return the cached result for ``cell``, or ``None`` on a miss.
+    def load_entry(self, path) -> Optional[dict]:
+        """Parse one on-disk entry; ``None`` for corrupt or version-skewed files.
 
-        Corrupt, unreadable or schema-mismatched entries count as misses —
-        an interrupted or version-skewed cache degrades to recomputation,
-        never to a crash or a wrong figure.
+        The shared validity check behind :meth:`get`, :meth:`contains_key`
+        and :func:`collect_cache_garbage`: an entry counts only when it
+        parses, carries the current schema and substrate versions, and has a
+        result payload.
         """
-        path = self.path_for(cell.cache_key())
         try:
             with open(path, "r", encoding="utf-8") as fh:
                 entry = json.load(fh)
@@ -222,10 +250,33 @@ class ResultCache:
             return None
         if entry.get("substrate_version") != SUBSTRATE_VERSION:
             return None
+        if "result" not in entry:
+            return None
+        return entry
+
+    def get_by_key(self, cache_key: str) -> Optional[RunResult]:
+        """The cached result stored under ``cache_key``, or ``None`` on a miss.
+
+        Corrupt, unreadable or schema-mismatched entries count as misses —
+        an interrupted or version-skewed cache degrades to recomputation,
+        never to a crash or a wrong figure.  Campaign executors address the
+        cache by the manifest's precomputed content keys through here.
+        """
+        entry = self.load_entry(self.path_for(cache_key))
+        if entry is None:
+            return None
         try:
             return RunResult.from_json_dict(entry["result"])
         except (KeyError, TypeError, ValueError):
             return None
+
+    def contains_key(self, cache_key: str) -> bool:
+        """Whether a *valid* entry exists for ``cache_key`` (campaign status)."""
+        return self.load_entry(self.path_for(cache_key)) is not None
+
+    def get(self, cell: Cell) -> Optional[RunResult]:
+        """Return the cached result for ``cell``, or ``None`` on a miss."""
+        return self.get_by_key(cell.cache_key())
 
     def put(self, cell: Cell, result_json: dict) -> None:
         """Atomically persist one cell's serialized result."""
@@ -316,14 +367,13 @@ def run_cells(
     if pending and jobs <= 1:
         for cache_key, cell in pending:
             notify(f"running    {cell.cell_id}")
-            result_json = execute_cell(cell, profile_dir=profile_dir).to_json_dict()
-            cache.put(cell, result_json)
-            resolved[cache_key] = RunResult.from_json_dict(result_json)
+            resolved[cache_key] = run_cached_cell(cell, cache,
+                                                  profile_dir=profile_dir)
             outcome.executed += 1
     elif pending:
         with ProcessPoolExecutor(max_workers=jobs) as pool:
             futures = {
-                pool.submit(_pool_execute, cell, profile_dir): (cache_key, cell)
+                pool.submit(execute_cell_json, cell, profile_dir): (cache_key, cell)
                 for cache_key, cell in pending
             }
             notify(
@@ -344,3 +394,86 @@ def run_cells(
         for cell in aliases:
             outcome.results[cell] = resolved[cache_key]
     return outcome
+
+
+# ---------------------------------------------------------------------------
+# Cache garbage collection
+# ---------------------------------------------------------------------------
+
+@dataclass
+class CacheGcReport:
+    """What one :func:`collect_cache_garbage` pass found (and removed)."""
+
+    root: str = ""
+    dry_run: bool = False
+    kept: int = 0                  # valid entries left in place
+    stale_entries: int = 0         # schema/substrate-skewed or corrupt files
+    orphaned_tmp: int = 0          # abandoned .tmp-* files past the age cutoff
+    bytes_reclaimed: int = 0       # total size of everything removed
+
+    def describe(self) -> str:
+        action = "would reclaim" if self.dry_run else "reclaimed"
+        return (
+            f"{self.root}: kept {self.kept} entries; {action} "
+            f"{self.bytes_reclaimed:,} bytes "
+            f"({self.stale_entries} stale/corrupt entries, "
+            f"{self.orphaned_tmp} orphaned tmp files)"
+        )
+
+
+def collect_cache_garbage(root, tmp_age_s: float = 3600.0,
+                          dry_run: bool = False) -> CacheGcReport:
+    """Prune version-skewed, corrupt and orphaned files from a result cache.
+
+    Needed hygiene once campaigns share one cache directory across hosts and
+    substrate upgrades: every version skew turns the previous entries into
+    dead weight that ``get`` already ignores but nothing ever deletes.  Removes
+
+    * entries whose schema or substrate version no longer matches (or that
+      do not parse) — exactly the files :meth:`ResultCache.get` treats as
+      misses, so removal can never change what a sweep computes;
+    * ``.tmp-*`` spill files older than ``tmp_age_s`` seconds — debris of
+      executors killed mid-:meth:`ResultCache.put` (younger ones are left
+      alone: they may belong to a write in flight right now).
+
+    With ``dry_run`` nothing is deleted; the report counts what would go.
+    Concurrent executors are safe: deleting an invalid entry or an abandoned
+    tmp file can at worst race another GC's unlink, which is tolerated.
+    """
+    import time
+
+    cache = ResultCache(root)
+    report = CacheGcReport(root=str(cache.root), dry_run=dry_run)
+    if not cache.root.is_dir():
+        return report
+    now = time.time()
+    for path in sorted(cache.root.iterdir()):
+        if not path.is_file():
+            continue
+        remove = False
+        if path.name.startswith(".tmp-"):
+            try:
+                if now - path.stat().st_mtime >= tmp_age_s:
+                    remove = True
+                    report.orphaned_tmp += 1
+            except OSError:
+                continue
+        elif path.suffix == ".json":
+            if cache.load_entry(path) is None:
+                remove = True
+                report.stale_entries += 1
+            else:
+                report.kept += 1
+        else:
+            continue
+        if not remove:
+            continue
+        try:
+            size = path.stat().st_size
+            if not dry_run:
+                path.unlink()
+            report.bytes_reclaimed += size
+        except OSError:
+            # Another GC (or the owning writer) got there first; fine.
+            pass
+    return report

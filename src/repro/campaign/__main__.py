@@ -1,0 +1,202 @@
+"""Command-line entry point: ``python -m repro.campaign <command> ...``.
+
+Four subcommands cover the campaign lifecycle:
+
+``compile <campaign.json> --out DIR``
+    Expand a :class:`~repro.campaign.spec.CampaignSpec` file into an on-disk
+    run table (manifest + cells + empty cache/claims dirs).
+
+``run DIR [--shard i/n] [--jobs N]``
+    Execute (a shard of) the campaign.  Run the same command on as many
+    machines/shards as you like — they cooperate through the shared cache
+    and claim files; rerunning a finished campaign executes nothing.
+
+``status DIR [--json]``
+    One line (or JSON) of progress: done / in-flight / pending cells.
+
+``report DIR [--metrics m1,m2] [--out FILE] [--json FILE] [--summary FILE]``
+    Aggregate the run table: one row per factor assignment, each metric as
+    mean ± 95% CI across seed reps.  Markdown to stdout and ``--out``;
+    ``--summary`` appends the same Markdown to a file (point it at
+    ``$GITHUB_STEP_SUMMARY`` in CI).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .executor import (
+    DEFAULT_CLAIM_TTL_S,
+    main_progress,
+    parse_shard,
+    run_campaign,
+)
+from .manifest import ManifestError, compile_campaign, load_manifest
+from .report import (
+    campaign_report,
+    campaign_status,
+    render_markdown,
+    resolve_metrics,
+)
+from .spec import CampaignSpec
+
+
+def _cmd_compile(args, parser) -> int:
+    try:
+        with open(args.campaign, "r", encoding="utf-8") as fh:
+            spec = CampaignSpec.from_json_dict(json.load(fh))
+    except (OSError, ValueError, TypeError) as exc:
+        parser.error(f"{args.campaign}: {exc}")
+    progress = None if args.quiet else main_progress()
+    manifest = compile_campaign(spec, args.out, progress=progress)
+    print(f"[campaign] {manifest.total_cells} cells -> {manifest.dirs.root}")
+    return 0
+
+
+def _cmd_run(args, parser) -> int:
+    try:
+        shard = parse_shard(args.shard)
+    except ValueError as exc:
+        parser.error(str(exc))
+    manifest = load_manifest(args.directory)
+    progress = None if args.quiet else main_progress()
+    stats = run_campaign(
+        args.directory, shard=shard, jobs=args.jobs,
+        claim_ttl_s=args.claim_ttl, progress=progress, manifest=manifest,
+    )
+    print(f"[campaign] {manifest.name}: {stats.describe(shard)}")
+    if stats.errors:
+        for cell_id, message in stats.errors:
+            print(f"[campaign]   failed {cell_id}: {message}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_status(args, parser) -> int:
+    status = campaign_status(args.directory)
+    if args.json:
+        print(json.dumps(status.to_json_dict(), indent=2, sort_keys=True))
+    else:
+        print(status.describe())
+    # Scriptable completion check: exit 0 when done, 2 while work remains
+    # (CI gates on `status` after the matrix shards join).
+    return 0 if status.complete else 2
+
+
+def _cmd_report(args, parser) -> int:
+    metrics = None
+    if args.metrics:
+        try:
+            metrics = resolve_metrics(
+                [name.strip() for name in args.metrics.split(",") if name.strip()])
+        except ValueError as exc:
+            parser.error(str(exc))
+    manifest = load_manifest(args.directory)
+    report = campaign_report(args.directory, metrics=metrics, manifest=manifest)
+    markdown = render_markdown(report)
+    print(markdown)
+    written = []
+    targets = [(args.out, markdown)]
+    if args.summary:
+        targets.append((args.summary, markdown))
+    for path, text in targets:
+        if not path:
+            continue
+        mode = "a" if path == args.summary and path != args.out else "w"
+        with open(path, mode, encoding="utf-8") as fh:
+            fh.write(text)
+        written.append(path)
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+        written.append(args.json_out)
+    if not args.out and not args.json_out:
+        # Default artifacts land in the campaign's reports/ directory.
+        reports_dir = manifest.dirs.reports_dir
+        reports_dir.mkdir(parents=True, exist_ok=True)
+        md_path = reports_dir / "report.md"
+        json_path = reports_dir / "report.json"
+        md_path.write_text(markdown, encoding="utf-8")
+        with open(json_path, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+        written.extend([str(md_path), str(json_path)])
+    for path in written:
+        print(f"[campaign] wrote {path}", file=sys.stderr)
+    return 0 if report["complete"] else 2
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.campaign",
+        description="Compile, execute and report declarative run-table "
+                    "campaigns (see examples/campaigns/).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_compile = sub.add_parser(
+        "compile", help="expand a campaign JSON file into a run-table directory")
+    p_compile.add_argument("campaign", help="CampaignSpec JSON file")
+    p_compile.add_argument("--out", "-o", required=True, metavar="DIR",
+                           help="campaign directory to create/refresh")
+    p_compile.add_argument("--quiet", action="store_true",
+                           help="suppress progress lines on stderr")
+
+    p_run = sub.add_parser(
+        "run", help="execute (a shard of) a compiled campaign")
+    p_run.add_argument("directory", help="compiled campaign directory")
+    p_run.add_argument("--shard", metavar="i/n", default=None,
+                       help="run only cells with index %% n == i (0-based); "
+                            "default: all cells")
+    p_run.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes for cell execution "
+                            "(default: 1, inline)")
+    p_run.add_argument("--claim-ttl", type=float, default=DEFAULT_CLAIM_TTL_S,
+                       metavar="S",
+                       help="seconds before another executor's claim counts "
+                            f"as abandoned (default: {DEFAULT_CLAIM_TTL_S:g}; "
+                            "must exceed one cell's wall time)")
+    p_run.add_argument("--quiet", action="store_true",
+                       help="suppress per-cell progress lines on stderr")
+
+    p_status = sub.add_parser(
+        "status", help="print campaign progress (exit 0 when complete, 2 otherwise)")
+    p_status.add_argument("directory", help="compiled campaign directory")
+    p_status.add_argument("--json", action="store_true",
+                          help="machine-readable status document")
+
+    p_report = sub.add_parser(
+        "report", help="aggregate results: mean ± 95%% CI per run-table row")
+    p_report.add_argument("directory", help="compiled campaign directory")
+    p_report.add_argument("--metrics", metavar="M1,M2,...",
+                          help="comma-separated RunResult metrics (default: "
+                               "throughput_ktps,abort_rate,p99_latency_ms)")
+    p_report.add_argument("--out", metavar="FILE",
+                          help="write the Markdown table to FILE (default: "
+                               "<dir>/reports/report.md)")
+    p_report.add_argument("--json", dest="json_out", metavar="FILE",
+                          help="write the JSON report document to FILE "
+                               "(default: <dir>/reports/report.json)")
+    p_report.add_argument("--summary", metavar="FILE",
+                          help="append the Markdown to FILE (e.g. "
+                               "$GITHUB_STEP_SUMMARY)")
+
+    args = parser.parse_args(argv)
+    if getattr(args, "jobs", 1) < 1:
+        parser.error("--jobs must be >= 1")
+    handler = {
+        "compile": _cmd_compile,
+        "run": _cmd_run,
+        "status": _cmd_status,
+        "report": _cmd_report,
+    }[args.command]
+    try:
+        return handler(args, parser)
+    except ManifestError as exc:
+        print(f"[campaign] error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -82,7 +82,8 @@ class Cluster:
         if self.arrival is not None and self.protocol.runs_own_loop:
             raise ValueError(
                 f"protocol {config.protocol!r} drives its own execution loop "
-                "and does not support open-loop arrivals"
+                "and does not support arrival processes (open loops or "
+                "closed-loop think time)"
             )
         self.servers: dict[int, Server] = {
             p: Server(self, p, self.protocol.lock_policy)
@@ -182,16 +183,24 @@ class Cluster:
         if self.protocol.runs_own_loop:
             self.env.process(self.protocol.run_loop(), name="protocol-loop")
             return
-        if self.arrival is not None:
+        if self.arrival is not None and self.arrival.open_loop:
             start_open_loop(self)
             return
+        # Closed loop; a non-None arrival here is "closed" with think time
+        # (ArrivalSpec.coerce normalizes the trivial think_time_us=0 form to
+        # None, so this branch cost exists only for genuinely thinking runs).
+        think_time_us = 0.0
+        if self.arrival is not None:
+            think_time_us = float(
+                self.arrival.effective_params().get("think_time_us", 0.0))
         for partition_id, server in self.servers.items():
             for worker_id in range(self.config.workers_per_partition):
                 for fiber_id in range(self.config.inflight_per_worker):
                     stream_id = worker_id * self.config.inflight_per_worker + fiber_id
                     source = self.new_txn_source(partition_id, stream_id)
                     self.env.process(
-                        worker_loop(self, server, source),
+                        worker_loop(self, server, source,
+                                    think_time_us=think_time_us),
                         name=f"worker-p{partition_id}-{stream_id}",
                     )
 

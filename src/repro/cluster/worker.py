@@ -132,8 +132,17 @@ def _drive(cluster: "Cluster", server: "Server", spec, first_start: float,
         backoff_us = min(backoff_us * config.backoff_multiplier, config.backoff_max_us)
 
 
-def worker_loop(cluster: "Cluster", server: "Server", source: "TxnSource") -> Generator:
-    """The closed-loop driver for one worker fiber."""
+def worker_loop(cluster: "Cluster", server: "Server", source: "TxnSource",
+                think_time_us: float = 0.0) -> Generator:
+    """The closed-loop driver for one worker fiber.
+
+    ``think_time_us`` is the interactive-client pause (``arrival={"kind":
+    "closed", "think_time_us": ...}``): after each transaction completes the
+    fiber sleeps that long before drawing its next request, the classic
+    N-clients model where offered load is governed by the client count and
+    the think time.  The default 0 takes no extra branch on the hot path, so
+    the historical back-to-back loop stays bit-identical.
+    """
     config = cluster.config
     durability = cluster.durability
     env = cluster.env
@@ -155,6 +164,8 @@ def worker_loop(cluster: "Cluster", server: "Server", source: "TxnSource") -> Ge
 
         spec = next_spec()
         yield from _drive(cluster, server, spec, env._now)
+        if think_time_us > 0.0:
+            yield env.timeout(think_time_us)
 
 
 def open_worker_loop(cluster: "Cluster", server: "Server",

@@ -70,7 +70,18 @@ __all__ = [
 
 
 class UnknownNameError(ValueError):
-    """An unregistered name was looked up (carries a did-you-mean hint)."""
+    """An unregistered name was looked up (carries a did-you-mean hint).
+
+    Instances raised through :func:`unknown_name_error` carry structured
+    attributes alongside the rendered message — ``kind`` (what sort of name
+    was looked up), ``name`` (what was asked for) and ``choices`` (what was
+    registered) — so layered validators (campaign specs wrapping scenario
+    errors with factor context) can re-render without parsing the string.
+    """
+
+    kind: str = ""
+    name: str = ""
+    choices: tuple = ()
 
 
 class DuplicateNameError(ValueError):
@@ -91,7 +102,11 @@ def unknown_name_error(kind: str, name: Any, choices: Sequence[str]) -> UnknownN
     """The single error used for every unknown protocol/durability/workload/figure."""
     listing = ", ".join(repr(c) for c in choices) or "<nothing registered>"
     hint = suggestion_hint(str(name), choices)
-    return UnknownNameError(f"unknown {kind} {name!r}{hint}; registered: {listing}")
+    error = UnknownNameError(f"unknown {kind} {name!r}{hint}; registered: {listing}")
+    error.kind = kind
+    error.name = str(name)
+    error.choices = tuple(choices)
+    return error
 
 
 @dataclass(frozen=True)

@@ -36,6 +36,7 @@ from __future__ import annotations
 import dataclasses
 import itertools
 import json
+from collections.abc import Sequence
 from dataclasses import dataclass, fields
 from typing import Any, Iterable, Mapping, Optional
 
@@ -56,8 +57,10 @@ from .workloads.mixed import normalize_components
 
 __all__ = [
     "ScenarioSpec",
+    "SweepGrid",
     "build",
     "build_workload",
+    "known_axes",
     "run",
     "sweep",
 ]
@@ -361,31 +364,112 @@ class ScenarioSpec:
         return dataclasses.replace(self, **replacements)
 
 
-def sweep(base: ScenarioSpec, **axes: Iterable) -> list[ScenarioSpec]:
+def known_axes(base: ScenarioSpec, extra_workloads: Iterable = ()) -> tuple[str, ...]:
+    """Every axis name :meth:`ScenarioSpec.derive` would accept for ``base``.
+
+    Spec fields, ``SystemConfig`` fields, and the config fields of the base
+    spec's workload plus any ``extra_workloads`` (names or ``{name: weight}``
+    mixes — the values a ``workload`` axis might take).  Used for *eager*
+    axis-name validation by callers that expand grids lazily (campaign
+    manifests): a typo'd factor name fails before the first of a million
+    cells is derived, with the same did-you-mean treatment ``derive`` gives.
+    """
+    workloads = {base.workload}
+    for workload in extra_workloads:
+        workloads.add("mixed" if isinstance(workload, Mapping) else workload)
+    names = {f.name for f in fields(ScenarioSpec)}
+    names.update(_CONFIG_FIELD_NAMES)
+    for workload in workloads:
+        entry = WORKLOAD_REGISTRY.entry(workload)
+        names.update(f.name for f in fields(entry.metadata["config_cls"]))
+    return tuple(sorted(names))
+
+
+class SweepGrid(Sequence):
+    """The lazy cartesian product a :func:`sweep` call describes.
+
+    Behaves like the list it used to be — ``len``, iteration, indexing and
+    slicing all work, ordering is last-axis-fastest — but each
+    :class:`ScenarioSpec` is **derived on access**, never stored.  A
+    million-cell campaign grid therefore costs a few tuples of axis values,
+    and streaming consumers (``for spec in grid``) hold one spec at a time.
+    Validation runs where derivation runs: axis *emptiness* fails eagerly at
+    construction, a bad axis *value* (e.g. a typo'd protocol) fails when its
+    combination is materialized.
+    """
+
+    def __init__(self, base: ScenarioSpec, axes: Mapping[str, Iterable]):
+        self._base = base
+        self._names = tuple(axes)
+        self._values = tuple(tuple(axes[name]) for name in self._names)
+        for name, values in zip(self._names, self._values):
+            if not values:
+                raise ValueError(f"sweep axis {name!r} has no values")
+
+    def _derive(self, combo: tuple) -> ScenarioSpec:
+        return self._base.derive(**dict(zip(self._names, combo)))
+
+    def __len__(self) -> int:
+        length = 1
+        for values in self._values:
+            length *= len(values)
+        return length
+
+    def __iter__(self):
+        for combo in itertools.product(*self._values):
+            yield self._derive(combo)
+
+    def combinations(self):
+        """Lazy ``(assignment_dict, spec)`` pairs in grid order — the factor
+        levels each spec was derived from, for consumers (campaign manifests,
+        reports) that group results by level."""
+        for combo in itertools.product(*self._values):
+            yield dict(zip(self._names, combo)), self._derive(combo)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self)))]
+        length = len(self)
+        if index < 0:
+            index += length
+        if not 0 <= index < length:
+            raise IndexError(f"sweep index {index} out of range for {length} specs")
+        combo = []
+        for values in reversed(self._values):
+            index, digit = divmod(index, len(values))
+            combo.append(values[digit])
+        return self._derive(tuple(reversed(combo)))
+
+    def __repr__(self) -> str:
+        axes = ", ".join(
+            f"{name}[{len(values)}]"
+            for name, values in zip(self._names, self._values)
+        )
+        return f"SweepGrid({len(self)} specs: {axes})"
+
+
+def sweep(base: ScenarioSpec, **axes: Iterable) -> SweepGrid:
     """The cartesian product of ``base`` varied over ``axes``.
 
     Each axis is routed exactly like :meth:`ScenarioSpec.derive` keywords::
 
         sweep(base, protocol=["primo", "sundial"], zipf_theta=[0.0, 0.6, 0.9])
 
-    returns 6 validated specs, protocol-major (last axis fastest).  Fault
-    plans, workload mixes and arrival processes are ordinary axes::
+    returns a 6-spec grid, protocol-major (last axis fastest).  Fault plans,
+    workload mixes and arrival processes are ordinary axes::
 
         sweep(base,
               faults=[None, [{"kind": "crash", "at_us": 40_000, "target": 1}]],
               workload=[{"ycsb": 1.0}, {"ycsb": 0.7, "tatp": 0.3}])
         sweep(base, arrival=[{"kind": "poisson", "rate_tps": r}
                              for r in (100_000, 150_000, 200_000)])
+
+    The returned :class:`SweepGrid` is a lazy sequence: specs are derived on
+    iteration/indexing, so grids far larger than memory (campaign manifests)
+    can be compiled streaming.  Wrap it in ``list(...)`` to materialize —
+    and to force validation of every axis value — up front.
     """
-    names = list(axes)
-    value_lists = [list(axes[name]) for name in names]
-    for name, values in zip(names, value_lists):
-        if not values:
-            raise ValueError(f"sweep axis {name!r} has no values")
-    return [
-        base.derive(**dict(zip(names, combo)))
-        for combo in itertools.product(*value_lists)
-    ]
+    return SweepGrid(base, axes)
 
 
 # ---------------------------------------------------------------------------

@@ -181,6 +181,37 @@ def test_explicit_closed_reproduces_legacy_fixed_seed_counts(workload):
     assert fingerprint(explicit) == fingerprint(legacy)
 
 
+def test_zero_think_time_normalizes_to_the_legacy_closed_loop():
+    legacy = ScenarioSpec(protocol="primo", scale="tiny")
+    explicit = ScenarioSpec(protocol="primo", scale="tiny",
+                            arrival={"kind": "closed", "think_time_us": 0})
+    assert explicit.arrival is None
+    assert explicit.canonical_json() == legacy.canonical_json()
+
+
+def test_positive_think_time_is_a_distinct_scenario():
+    base = ScenarioSpec(protocol="primo", scale="tiny")
+    thinking = ScenarioSpec(protocol="primo", scale="tiny",
+                            arrival={"kind": "closed", "think_time_us": 800})
+    assert thinking.arrival is not None and not thinking.arrival.open_loop
+    assert thinking.canonical_json() != base.canonical_json()
+    rebuilt = ScenarioSpec.from_json_dict(thinking.to_json_dict())
+    assert rebuilt == thinking
+    # Thinking clients throttle themselves: strictly less gets done.
+    idle = repro.run(thinking)
+    busy = repro.run(base)
+    assert 0 < idle.committed < busy.committed
+
+
+def test_think_time_validation():
+    with pytest.raises(ValueError, match="non-negative"):
+        arrival("closed", think_time_us=-1.0)
+    with pytest.raises(ValueError, match="no rate_tps"):
+        arrival("closed", 50_000)
+    with pytest.raises(ValueError, match="unknown parameter"):
+        arrival("closed", think_tme_us=100.0)
+
+
 # ---------------------------------------------------------------------------
 # Open-loop runtime semantics
 # ---------------------------------------------------------------------------

@@ -176,7 +176,61 @@ def test_sweep_expands_the_cartesian_product():
     with pytest.raises(ValueError, match="no values"):
         sweep(base, protocol=[])
     with pytest.raises(UnknownNameError):
-        sweep(base, protocol=["primo", "prmo"])  # validation happens per spec
+        # The grid is lazy, so per-spec validation happens on materialization.
+        list(sweep(base, protocol=["primo", "prmo"]))
+
+
+def test_sweep_is_lazy_and_indexable_without_materializing(monkeypatch):
+    """A million-spec grid yields its first element after exactly one derive."""
+    base = ScenarioSpec(protocol="primo", scale="tiny")
+    derives = []
+    original = ScenarioSpec.derive
+
+    def counting_derive(self, **changes):
+        derives.append(changes)
+        return original(self, **changes)
+
+    monkeypatch.setattr(ScenarioSpec, "derive", counting_derive)
+    grid = sweep(base, seed=range(1_000), zipf_theta=[0.0, 0.2, 0.4, 0.6])
+    assert len(grid) == 4_000
+    assert derives == []  # construction derives nothing
+    first = next(iter(grid))
+    assert dict(first.config_overrides)["seed"] == 0
+    assert len(derives) == 1
+    # Random access decodes the mixed-radix index instead of walking the grid.
+    spec = grid[4 * 17 + 2]
+    assert dict(spec.config_overrides)["seed"] == 17
+    assert dict(spec.workload_overrides)["zipf_theta"] == 0.4
+    assert len(derives) == 2
+    assert grid[-1].config_overrides == grid[len(grid) - 1].config_overrides
+    with pytest.raises(IndexError):
+        grid[len(grid)]
+
+
+def test_sweep_combinations_pairs_assignments_with_specs():
+    base = ScenarioSpec(protocol="primo", scale="tiny")
+    grid = sweep(base, protocol=["primo", "sundial"], zipf_theta=[0.0, 0.9])
+    pairs = list(grid.combinations())
+    assert [assignment for assignment, _ in pairs] == [
+        {"protocol": "primo", "zipf_theta": 0.0},
+        {"protocol": "primo", "zipf_theta": 0.9},
+        {"protocol": "sundial", "zipf_theta": 0.0},
+        {"protocol": "sundial", "zipf_theta": 0.9},
+    ]
+    for assignment, spec in pairs:
+        assert spec.protocol == assignment["protocol"]
+
+
+def test_known_axes_covers_spec_config_and_workload_fields():
+    from repro.scenario import known_axes
+
+    base = ScenarioSpec(protocol="primo", scale="tiny")
+    axes = known_axes(base)
+    assert "protocol" in axes and "seed" in axes and "zipf_theta" in axes
+    assert "warehouses_per_partition" not in axes  # tpcc not in play
+    widened = known_axes(base, extra_workloads=["tpcc", {"ycsb": 0.5, "tatp": 0.5}])
+    assert "warehouses_per_partition" in widened
+    assert "components" in widened  # the mixed workload's config field
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,146 @@
+"""Statistics helpers and the campaign status/report layer."""
+
+import math
+
+import pytest
+
+from repro.bench.report import (
+    confidence_interval_95,
+    format_mean_ci,
+    sample_mean_std,
+    t_critical_95,
+)
+from repro.campaign import (
+    CampaignSpec,
+    campaign_report,
+    campaign_status,
+    compile_campaign,
+    render_markdown,
+    run_campaign,
+)
+from repro.campaign.report import resolve_metrics
+from repro.scenario import ScenarioSpec
+
+
+class TestStats:
+    def test_t_table_spot_values(self):
+        # Standard two-sided 95% Student-t critical values.
+        assert t_critical_95(1) == pytest.approx(12.706)
+        assert t_critical_95(2) == pytest.approx(4.303)
+        assert t_critical_95(9) == pytest.approx(2.262)
+        assert t_critical_95(30) == pytest.approx(2.042)
+        # Untabulated df fall back conservatively (never narrower).
+        assert t_critical_95(35) == pytest.approx(2.042)
+        assert t_critical_95(50) == pytest.approx(2.021)
+        assert t_critical_95(1000) == pytest.approx(1.96)
+        with pytest.raises(ValueError):
+            t_critical_95(0)
+
+    def test_sample_mean_std(self):
+        mean, std = sample_mean_std([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+        assert mean == pytest.approx(5.0)
+        assert std == pytest.approx(math.sqrt(32.0 / 7.0))
+        assert sample_mean_std([3.5]) == (3.5, 0.0)
+        with pytest.raises(ValueError):
+            sample_mean_std([])
+
+    def test_confidence_interval_95(self):
+        # n=2: df=1, t=12.706; std = |a-b|/sqrt(2); half = t*std/sqrt(2).
+        mean, half = confidence_interval_95([10.0, 14.0])
+        assert mean == pytest.approx(12.0)
+        assert half == pytest.approx(12.706 * math.sqrt(8.0) / math.sqrt(2))
+        # Degenerate cases report a bare mean.
+        assert confidence_interval_95([5.0]) == (5.0, 0.0)
+        assert confidence_interval_95([5.0, 5.0, 5.0]) == (5.0, 0.0)
+
+    def test_format_mean_ci(self):
+        assert format_mean_ci(12.34, 1.23) == "12.3 ± 1.2"
+        assert format_mean_ci(12345.6, 78.9) == "12346 ± 79"
+        assert format_mean_ci(1.2345, 0.0) == "1.234"
+        assert format_mean_ci(1.5, 0.25, precision=2) == "1.50 ± 0.25"
+
+    def test_resolve_metrics_validates_with_suggestions(self):
+        assert resolve_metrics(None) == ("throughput_ktps", "abort_rate",
+                                         "p99_latency_ms")
+        with pytest.raises(ValueError, match=r"throughput_ktp'.*did you mean"):
+            resolve_metrics(["throughput_ktp"])
+
+
+@pytest.fixture(scope="module")
+def finished_campaign(tmp_path_factory):
+    """One compiled-and-run 2×2-reps campaign shared by the report tests."""
+    directory = tmp_path_factory.mktemp("campaign") / "run"
+    campaign = CampaignSpec(
+        name="report-smoke",
+        base=ScenarioSpec(protocol="primo", workload="ycsb", scale="tiny"),
+        factors={"protocol": ["primo", "sundial"]},
+        seed_reps=2,
+    )
+    compile_campaign(campaign, directory)
+    run_campaign(directory)
+    return directory
+
+
+class TestStatusAndReport:
+    def test_status_counts(self, finished_campaign):
+        status = campaign_status(finished_campaign)
+        assert status.total_cells == 4
+        assert status.done == 4
+        assert status.claimed == status.pending == 0
+        assert status.complete
+        assert "4/4" in status.describe()
+
+    def test_report_shape(self, finished_campaign):
+        report = campaign_report(finished_campaign,
+                                 metrics=["throughput_ktps", "committed"])
+        assert report["complete"]
+        assert report["rows_total"] == report["rows_complete"] == 2
+        assert report["metrics"] == ["throughput_ktps", "committed"]
+        protocols = [row["factors"]["protocol"] for row in report["rows"]]
+        assert protocols == ["primo", "sundial"]
+        for row in report["rows"]:
+            assert row["reps_present"] == row["reps_expected"] == 2
+            for stats in row["metrics"].values():
+                assert stats["n"] == 2
+                assert len(stats["values"]) == 2
+                assert stats["mean"] == pytest.approx(
+                    sum(stats["values"]) / 2)
+                assert stats["ci95"] >= 0.0
+
+    def test_report_reflects_seed_variation(self, finished_campaign):
+        # Different seeds must actually vary the metric; otherwise the CI
+        # machinery is aggregating copies of one run.
+        report = campaign_report(finished_campaign, metrics=["committed"])
+        for row in report["rows"]:
+            values = row["metrics"]["committed"]["values"]
+            assert values[0] != values[1]
+
+    def test_markdown_rendering(self, finished_campaign):
+        report = campaign_report(finished_campaign)
+        markdown = render_markdown(report)
+        assert "# Campaign `report-smoke`" in markdown
+        assert "| protocol | reps |" in markdown
+        assert "| `primo` | 2/2 |" in markdown
+        assert "±" in markdown       # intervals are rendered
+        assert "⚠" not in markdown   # nothing incomplete
+
+    def test_partial_campaign_reports_cleanly(self, tmp_path):
+        campaign = CampaignSpec(
+            name="partial",
+            base=ScenarioSpec(protocol="primo", workload="ycsb", scale="tiny"),
+            factors={"protocol": ["primo", "sundial"]},
+            seed_reps=1,
+        )
+        directory = tmp_path / "partial"
+        compile_campaign(campaign, directory)
+        run_campaign(directory, shard=(0, 2))  # half the table
+        status = campaign_status(directory)
+        assert status.done == 1 and status.pending == 1
+        report = campaign_report(directory, metrics=["committed"])
+        assert not report["complete"]
+        assert report["rows_complete"] == 1
+        empty = [row for row in report["rows"] if row["reps_present"] == 0]
+        assert len(empty) == 1
+        assert empty[0]["metrics"]["committed"]["mean"] is None
+        markdown = render_markdown(report)
+        assert "⚠" in markdown and "—" in markdown

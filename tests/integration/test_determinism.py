@@ -31,6 +31,16 @@ GOLDEN = {
     "2pl_nw": (62, 16, 23_000.0),
 }
 
+# Closed loop with 1 ms interactive think time (arrival={"kind": "closed",
+# "think_time_us": 1000}) over the same tiny configuration: protocol ->
+# (committed, aborted, final simulated time).  Think time throttles each
+# worker fiber, so the counts sit far below the back-to-back GOLDEN ones.
+THINK_TIME_GOLDEN = {
+    "primo": (57, 0, 23_000.0),
+    "sundial": (47, 1, 23_000.0),
+    "2pl_nw": (45, 6, 23_000.0),
+}
+
 # Open-loop Poisson arrivals at 50k tps over the same tiny configuration:
 # protocol -> (committed, aborted, arrivals offered, final simulated time).
 # The offered count is identical across protocols because the arrival streams
@@ -46,6 +56,30 @@ OPENLOOP_GOLDEN = {
 def test_fixed_seed_run_matches_golden_counts(protocol):
     cluster, result = run_tiny(protocol)
     committed, aborted, final_now = GOLDEN[protocol]
+    assert result.metrics.committed == committed
+    assert result.metrics.aborted == aborted
+    assert cluster.env.now == final_now
+
+
+@pytest.mark.parametrize("protocol", sorted(THINK_TIME_GOLDEN))
+def test_fixed_seed_think_time_run_matches_golden_counts(protocol):
+    cluster = Cluster(tiny_config(protocol), tiny_ycsb(),
+                      arrival=arrival("closed", think_time_us=1_000.0))
+    result = cluster.run()
+    committed, aborted, final_now = THINK_TIME_GOLDEN[protocol]
+    assert result.metrics.committed == committed
+    assert result.metrics.aborted == aborted
+    assert cluster.env.now == final_now
+
+
+@pytest.mark.parametrize("protocol", sorted(GOLDEN))
+def test_zero_think_time_stays_bit_identical_to_the_closed_loop(protocol):
+    """The think-time knob at 0 must not perturb the legacy worker loop."""
+    cluster = Cluster(tiny_config(protocol), tiny_ycsb(),
+                      arrival=arrival("closed", think_time_us=0.0))
+    result = cluster.run()
+    committed, aborted, final_now = GOLDEN[protocol]
+    assert cluster.arrival is None  # the trivial closed form normalizes away
     assert result.metrics.committed == committed
     assert result.metrics.aborted == aborted
     assert cluster.env.now == final_now
