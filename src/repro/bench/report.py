@@ -72,9 +72,10 @@ def print_series(name: str, xs: list, ys: list, unit: str = "") -> None:
 # its seed repetitions.  Reps are small (3-10 is typical), so the normal
 # z = 1.96 would understate the interval badly; the Student-t critical values
 # below are the standard two-sided 95% table.  No scipy in the image — the
-# table covers every df a campaign will realistically see and falls back to
-# the normal limit beyond it (the t distribution is within 0.8% of normal
-# past df = 120).
+# table covers every df a campaign will realistically see and clamps to its
+# last row (df = 120, 1.980) beyond it, which upper-bounds t everywhere the
+# table doesn't reach (the normal 1.96 would be slightly narrow, e.g.
+# t(121) ≈ 1.9798).
 
 _T95 = {
     1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
@@ -93,12 +94,13 @@ def t_critical_95(df: int) -> float:
         raise ValueError(f"degrees of freedom must be >= 1, got {df}")
     if df in _T95:
         return _T95[df]
-    # Between tabulated rows (31..119) take the next tabulated df below —
-    # slightly conservative (wider interval), never optimistic.
-    for tabulated in (60, 40, 30):
+    # Off-table df take the next tabulated row below — slightly conservative
+    # (wider interval), never optimistic; past 120 that's the last row's
+    # 1.980, which still bounds t from above (unlike the normal 1.96).
+    for tabulated in (120, 60, 40, 30):
         if df > tabulated:
-            return _T95[tabulated] if df < 120 else 1.96
-    return 1.96
+            return _T95[tabulated]
+    return _T95[30]  # unreachable: df 1..30 are all tabulated
 
 
 def sample_mean_std(values: Sequence[float]) -> tuple[float, float]:

@@ -16,9 +16,10 @@ Four subcommands cover the campaign lifecycle:
 
 ``report DIR [--metrics m1,m2] [--out FILE] [--json FILE] [--summary FILE]``
     Aggregate the run table: one row per factor assignment, each metric as
-    mean ± 95% CI across seed reps.  Markdown to stdout and ``--out``;
-    ``--summary`` appends the same Markdown to a file (point it at
-    ``$GITHUB_STEP_SUMMARY`` in CI).
+    mean ± 95% CI across seed reps.  Markdown to stdout; the Markdown and
+    JSON artifacts go to ``--out``/``--json``, each defaulting independently
+    into ``DIR/reports/``; ``--summary`` appends the same Markdown to a file
+    (point it at ``$GITHUB_STEP_SUMMARY`` in CI).
 """
 
 from __future__ import annotations
@@ -98,30 +99,24 @@ def _cmd_report(args, parser) -> int:
     markdown = render_markdown(report)
     print(markdown)
     written = []
-    targets = [(args.out, markdown)]
-    if args.summary:
-        targets.append((args.summary, markdown))
-    for path, text in targets:
-        if not path:
-            continue
-        mode = "a" if path == args.summary and path != args.out else "w"
-        with open(path, mode, encoding="utf-8") as fh:
-            fh.write(text)
-        written.append(path)
-    if args.json_out:
-        with open(args.json_out, "w", encoding="utf-8") as fh:
-            json.dump(report, fh, indent=2, sort_keys=True)
-        written.append(args.json_out)
-    if not args.out and not args.json_out:
-        # Default artifacts land in the campaign's reports/ directory.
-        reports_dir = manifest.dirs.reports_dir
+    # Each artifact defaults independently into the campaign's reports/
+    # directory, so `--json out.json` still writes reports/report.md (and
+    # `--out table.md` still writes reports/report.json).
+    reports_dir = manifest.dirs.reports_dir
+    md_path = args.out or str(reports_dir / "report.md")
+    json_path = args.json_out or str(reports_dir / "report.json")
+    if not args.out or not args.json_out:
         reports_dir.mkdir(parents=True, exist_ok=True)
-        md_path = reports_dir / "report.md"
-        json_path = reports_dir / "report.json"
-        md_path.write_text(markdown, encoding="utf-8")
-        with open(json_path, "w", encoding="utf-8") as fh:
-            json.dump(report, fh, indent=2, sort_keys=True)
-        written.extend([str(md_path), str(json_path)])
+    with open(md_path, "w", encoding="utf-8") as fh:
+        fh.write(markdown)
+    written.append(md_path)
+    if args.summary and args.summary != md_path:
+        with open(args.summary, "a", encoding="utf-8") as fh:
+            fh.write(markdown)
+        written.append(args.summary)
+    with open(json_path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+    written.append(json_path)
     for path in written:
         print(f"[campaign] wrote {path}", file=sys.stderr)
     return 0 if report["complete"] else 2

@@ -10,12 +10,15 @@ Claims
     guarantees exactly one winner per key.  Losers skip the cell and move on;
     the winner releases the claim after publishing its result.  A claim whose
     mtime is older than the TTL belongs to a **dead executor** (killed
-    mid-cell): any executor may unlink it and race for a fresh claim — the
-    unlink-then-``O_EXCL`` sequence again has exactly one winner, so a cell
-    is never simulated twice *concurrently*.  (If an executor outlives the
-    TTL on one cell, a second execution is possible but harmless: results
-    are deterministic and cache writes are atomic, so both writers publish
-    identical bytes.)
+    mid-cell): reclaim goes through ``os.rename`` to a reclaimer-private
+    tombstone — of N concurrent reclaimers exactly one rename succeeds, the
+    winner re-checks the tombstone's age (a claim refreshed between stat and
+    rename is restored, not reaped), and only that winner retries the
+    ``O_CREAT | O_EXCL`` creation.  Duplicate concurrent execution is thereby
+    confined to vanishing scheduling windows — and is harmless anyway:
+    results are deterministic and cache writes are atomic, so concurrent
+    writers publish identical bytes.  (The same applies if an executor
+    simply outlives the TTL on one cell.)
 
 Results
     The shared :class:`~repro.bench.orchestrator.ResultCache` is the only
@@ -87,9 +90,12 @@ def try_claim(claims_dir: Path, key: str,
     """Atomically claim one cell; ``True`` iff this executor now owns it.
 
     A live claim by someone else returns ``False``.  A stale claim (mtime
-    older than ``claim_ttl_s``) is unlinked and the claim retried once —
-    concurrent reclaimers all unlink the same dead file (idempotent), then
-    exactly one wins the ``O_CREAT | O_EXCL`` re-creation.
+    older than ``claim_ttl_s``) is reaped with a single winner: it is
+    renamed to a reclaimer-private tombstone (only one concurrent rename
+    can succeed; the losers back off), the tombstone's age is re-checked —
+    a claim refreshed between the stat and the rename is renamed back, not
+    reaped — and only the reclaimer that removed a genuinely stale claim
+    retries the ``O_CREAT | O_EXCL`` creation.
     """
     claims_dir.mkdir(parents=True, exist_ok=True)
     path = _claim_path(claims_dir, key)
@@ -110,15 +116,48 @@ def try_claim(claims_dir: Path, key: str,
                 continue  # released between open and stat: retry the claim
             if age < claim_ttl_s:
                 return False
-            try:
-                path.unlink()  # expired: reap the dead executor's claim
-            except OSError:
-                pass
+            if not _reap_claim(path, claim_ttl_s):
+                return False  # another reclaimer won the race; not our cell
             continue
         with os.fdopen(fd, "w", encoding="utf-8") as fh:
             fh.write(payload)
         return True
     return False
+
+
+def _reap_claim(path: Path, claim_ttl_s: float) -> bool:
+    """Remove one stale claim with a single winner; ``True`` iff we did.
+
+    Plain unlink-then-retry lets two reclaimers both "succeed": B stats the
+    stale claim, A reaps it and ``O_EXCL``-creates a fresh one, then B
+    unlinks A's *fresh* claim and claims too.  Renaming first closes that:
+    exactly one rename of the claim succeeds (everyone else gets ENOENT and
+    backs off), and the winner — now sole owner of the tombstone — re-checks
+    its age, renaming a claim that turned out fresh back into place instead
+    of reaping it.
+    """
+    tombstone = path.with_name(f"{path.name}.reap{os.getpid()}")
+    try:
+        os.rename(path, tombstone)
+    except OSError:
+        return False  # already reaped (or released) by someone else
+    try:
+        stale = time.time() - tombstone.stat().st_mtime >= claim_ttl_s
+    except OSError:
+        return False  # tombstone gone (swept concurrently): treat as lost
+    if not stale:
+        # The stat that sent us here saw a different, older claim file; we
+        # grabbed a live one — put it back untouched and back off.
+        try:
+            os.rename(tombstone, path)
+        except OSError:
+            pass
+        return False
+    try:
+        os.unlink(tombstone)
+    except OSError:
+        pass
+    return True
 
 
 def release_claim(claims_dir: Path, key: str) -> None:
@@ -134,7 +173,8 @@ def sweep_stale_claims(claims_dir, claim_ttl_s: float = DEFAULT_CLAIM_TTL_S,
 
     Executors reclaim lazily (only for cells they visit), so a campaign
     abandoned mid-run can leave dead claims behind; ``scripts/cache_gc.py
-    --claims`` sweeps them eagerly.  Live claims are never touched.
+    --claims`` sweeps them eagerly.  Reap tombstones orphaned by a reclaimer
+    killed mid-reap age out the same way.  Live claims are never touched.
     """
     claims_dir = Path(claims_dir)
     swept = 0
@@ -142,7 +182,8 @@ def sweep_stale_claims(claims_dir, claim_ttl_s: float = DEFAULT_CLAIM_TTL_S,
     if not claims_dir.is_dir():
         return (0, 0)
     now = time.time()
-    for path in sorted(claims_dir.glob("*.claim")):
+    for path in sorted(claims_dir.glob("*.claim")) + \
+            sorted(claims_dir.glob("*.claim.reap*")):
         try:
             stat = path.stat()
             if now - stat.st_mtime < claim_ttl_s:

@@ -84,7 +84,12 @@ class CampaignDirs:
 @dataclass(frozen=True)
 class ManifestCell:
     """One ``cells.jsonl`` line: everything needed to claim, find, or group
-    a cell — but not its spec, which is derived on demand."""
+    a cell — but not its spec, which is derived on demand.
+
+    ``factors`` holds plain JSON-shaped values (dicts/lists/scalars, never
+    the campaign's internal frozen tuples), so :meth:`Manifest.derive_cell`
+    can feed them straight to :meth:`ScenarioSpec.derive` — dict-valued
+    levels like arrival specs or workload mixes included."""
 
     index: int
     cell_id: str
@@ -213,7 +218,7 @@ def compile_campaign(spec: CampaignSpec, directory,
                     cell_id=campaign_cell.cell_id,
                     key=campaign_cell.key,
                     seed=campaign_cell.seed,
-                    factors=campaign_cell.factor_dict,
+                    factors=campaign_cell.factor_json,
                 ).to_json_line()
                 fh.write(line + "\n")
                 total += 1

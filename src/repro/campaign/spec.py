@@ -73,6 +73,14 @@ class CampaignCell:
     def factor_dict(self) -> dict:
         return {name: value for name, value in self.factors}
 
+    @property
+    def factor_json(self) -> dict:
+        """The assignment with frozen values thawed back to JSON shapes —
+        what manifests serialize and :meth:`ScenarioSpec.derive` accepts
+        (a frozen dict level, e.g. an arrival spec, is a tuple of pairs
+        that ``derive`` would reject)."""
+        return {name: _plain(_unfreeze(value)) for name, value in self.factors}
+
     def cell(self, campaign_name: str) -> Cell:
         """The orchestrator :class:`Cell` this campaign cell executes as."""
         return Cell(figure=f"campaign:{campaign_name}", key=self.cell_id,

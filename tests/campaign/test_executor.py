@@ -65,6 +65,47 @@ class TestClaims:
         # The reclaim rewrote the file with a fresh mtime: now it holds.
         assert try_claim(claims, "k1", claim_ttl_s=1000.0) is False
 
+    def test_concurrent_stale_reclaimers_have_one_winner(self, tmp_path):
+        # The reclaim path (rename-to-tombstone, then re-create) must pick a
+        # single winner just like the fresh-claim path does.
+        claims = tmp_path / "claims"
+        assert try_claim(claims, "k1", claim_ttl_s=1000.0)
+        old = time.time() - 2000.0
+        os.utime(claims / "k1.claim", (old, old))
+        wins = []
+        barrier = threading.Barrier(8)
+
+        def contend():
+            barrier.wait()
+            if try_claim(claims, "k1", claim_ttl_s=1000.0):
+                wins.append(1)
+
+        threads = [threading.Thread(target=contend) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sum(wins) == 1
+        assert (claims / "k1.claim").exists()  # the winner's fresh claim
+        assert len(list(claims.iterdir())) == 1  # no tombstones left behind
+
+    def test_reap_restores_a_claim_that_turned_out_fresh(self, tmp_path):
+        from repro.campaign.executor import _reap_claim
+
+        claims = tmp_path / "claims"
+        assert try_claim(claims, "k1")
+        path = claims / "k1.claim"
+        payload = path.read_bytes()
+        # A reaper whose stat raced a refresh finds a fresh file once it
+        # owns the tombstone: it must rename the claim back, not reap it.
+        assert _reap_claim(path, claim_ttl_s=1000.0) is False
+        assert path.read_bytes() == payload
+        # A genuinely stale claim is reaped, tombstone included.
+        old = time.time() - 2000.0
+        os.utime(path, (old, old))
+        assert _reap_claim(path, claim_ttl_s=1000.0) is True
+        assert not list(claims.iterdir())
+
     def test_concurrent_claimers_have_one_winner(self, tmp_path):
         claims = tmp_path / "claims"
         wins = []
@@ -95,6 +136,19 @@ class TestClaims:
         assert swept == 1 and freed > 0
         assert not (claims / "dead.claim").exists()
         assert (claims / "fresh.claim").exists()
+
+    def test_sweep_reaps_orphaned_tombstones(self, tmp_path):
+        # A reclaimer killed between rename and unlink leaks a tombstone;
+        # the eager sweep ages it out like any dead claim.
+        claims = tmp_path / "claims"
+        claims.mkdir()
+        tombstone = claims / "k1.claim.reap42"
+        tombstone.write_text("{}")
+        old = time.time() - 5000.0
+        os.utime(tombstone, (old, old))
+        swept, freed = sweep_stale_claims(claims, claim_ttl_s=1000.0)
+        assert swept == 1 and freed > 0
+        assert not tombstone.exists()
 
     def test_parse_shard(self):
         assert parse_shard(None) == (0, 1)
@@ -177,6 +231,28 @@ class TestCooperation:
         assert stats.reclaimed == 1
         assert stats.executed == 1
         assert not list(manifest.dirs.claims_dir.glob("*.claim"))
+
+    def test_dict_valued_factor_levels_survive_compile_then_run(self, tmp_path):
+        # Arrival specs (and workload mixes, fault plans) are dict-valued
+        # factor levels; they must land in cells.jsonl as plain JSON that
+        # derive() accepts, not as the campaign's frozen tuple-of-pairs.
+        campaign = CampaignSpec(
+            name="open-loop",
+            base=ScenarioSpec(protocol="primo", workload="ycsb", scale="tiny"),
+            factors={"arrival": [{"kind": "poisson", "rate_tps": 40_000},
+                                 {"kind": "poisson", "rate_tps": 80_000}]},
+            seed_reps=1,
+        )
+        directory = tmp_path / "open-loop"
+        compile_campaign(campaign, directory)
+        manifest = load_manifest(directory)  # full JSON round trip
+        assert [cell.factors["arrival"] for cell in manifest.iter_cells()] == [
+            {"kind": "poisson", "rate_tps": 40_000},
+            {"kind": "poisson", "rate_tps": 80_000},
+        ]
+        stats = run_campaign(directory)
+        assert stats.executed == campaign.total_cells
+        assert not stats.errors
 
     def test_pool_execution_matches_inline_bytes(self, tmp_path):
         campaign = tiny_campaign(seed_reps=1)

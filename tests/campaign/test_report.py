@@ -1,6 +1,8 @@
 """Statistics helpers and the campaign status/report layer."""
 
+import json
 import math
+from pathlib import Path
 
 import pytest
 
@@ -29,10 +31,12 @@ class TestStats:
         assert t_critical_95(2) == pytest.approx(4.303)
         assert t_critical_95(9) == pytest.approx(2.262)
         assert t_critical_95(30) == pytest.approx(2.042)
-        # Untabulated df fall back conservatively (never narrower).
+        # Untabulated df fall back conservatively (never narrower): past the
+        # table's last row the value clamps to t(120), not the normal 1.96.
         assert t_critical_95(35) == pytest.approx(2.042)
         assert t_critical_95(50) == pytest.approx(2.021)
-        assert t_critical_95(1000) == pytest.approx(1.96)
+        assert t_critical_95(121) == pytest.approx(1.980)
+        assert t_critical_95(1000) == pytest.approx(1.980)
         with pytest.raises(ValueError):
             t_critical_95(0)
 
@@ -123,6 +127,47 @@ class TestStatusAndReport:
         assert "| `primo` | 2/2 |" in markdown
         assert "±" in markdown       # intervals are rendered
         assert "⚠" not in markdown   # nothing incomplete
+
+    def test_dict_valued_factors_group_and_render(self, tmp_path):
+        # Dict levels (arrival specs) flow from cells.jsonl through row
+        # grouping to Markdown without collapsing rows or crashing.
+        campaign = CampaignSpec(
+            name="open-report",
+            base=ScenarioSpec(protocol="primo", workload="ycsb", scale="tiny"),
+            factors={"arrival": [{"kind": "poisson", "rate_tps": 40_000},
+                                 {"kind": "poisson", "rate_tps": 80_000}]},
+            seed_reps=1,
+        )
+        directory = tmp_path / "open-report"
+        compile_campaign(campaign, directory)
+        run_campaign(directory)
+        report = campaign_report(directory, metrics=["committed"])
+        assert report["rows_total"] == report["rows_complete"] == 2
+        rates = [row["factors"]["arrival"]["rate_tps"]
+                 for row in report["rows"]]
+        assert rates == [40_000, 80_000]
+        markdown = render_markdown(report)
+        assert '"rate_tps": 40000' in markdown
+
+    def test_cli_report_artifact_defaults_decouple(self, finished_campaign,
+                                                   tmp_path):
+        from repro.campaign.__main__ import main as campaign_main
+
+        # Asking for only the JSON copy must not drop the default Markdown
+        # artifact (and vice versa) — each defaults independently.
+        json_target = tmp_path / "r.json"
+        assert campaign_main(["report", str(finished_campaign),
+                              "--json", str(json_target)]) == 0
+        assert json.loads(json_target.read_text())["complete"] is True
+        md_default = Path(finished_campaign) / "reports" / "report.md"
+        assert "# Campaign `report-smoke`" in md_default.read_text()
+
+        md_target = tmp_path / "r.md"
+        assert campaign_main(["report", str(finished_campaign),
+                              "--out", str(md_target)]) == 0
+        assert "# Campaign `report-smoke`" in md_target.read_text()
+        json_default = Path(finished_campaign) / "reports" / "report.json"
+        assert json.loads(json_default.read_text())["complete"] is True
 
     def test_partial_campaign_reports_cleanly(self, tmp_path):
         campaign = CampaignSpec(
