@@ -63,6 +63,14 @@ def test_zipf_generation(benchmark):
 
 
 @pytest.mark.benchmark(group="micro")
+def test_zipf_generation_million_keys(benchmark):
+    """Draw 50k Zipf keys from a 1M-key population (gate: ``zipf_1m``)."""
+    from repro.bench.micro import bench_zipf_1m
+
+    benchmark(bench_zipf_1m, 50_000)
+
+
+@pytest.mark.benchmark(group="micro")
 def test_engine_zero_delay_dispatch(benchmark):
     """Drain 100k immediate succeed() chains through the fast-dispatch lane.
 

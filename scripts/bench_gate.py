@@ -41,6 +41,20 @@ Wall-clock numbers are machine-specific; end-to-end rows record the best of
 ``--repeats`` runs to damp scheduler noise, and the correctness fields are
 asserted identical across those repeats (they are fixed-seed — divergence
 means the simulator lost determinism, which also fails the gate).
+
+Memory (schema v5)
+------------------
+
+Every end-to-end row also records ``mem_peak_mb``: the tracemalloc peak of
+one dedicated traced run.  tracemalloc roughly doubles wall-clock, so the
+timed repeats run untraced and memory gets its own run (whose correctness
+fields are asserted against the timed ones).  ``--check`` compares memory
+like wall clock — soft warning beyond ``--tolerance`` — unless
+``--enforce-memory`` is given, which turns a memory regression into a hard
+failure.  That flag backs the CI ``xlarge-smoke`` job: it runs just the
+million-key row (``--rows ycsb_xlarge``) and asserts the columnar storage
+tier still fits its recorded ceiling.  ``--rows`` restricts the measured
+end-to-end rows (micro benches are skipped when it is given).
 """
 
 from __future__ import annotations
@@ -53,7 +67,9 @@ import platform
 import subprocess
 import sys
 import time
+import tracemalloc
 from pathlib import Path
+from typing import NamedTuple, Optional
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
@@ -62,20 +78,39 @@ from repro.bench.micro import MICRO_BENCHMARKS  # noqa: E402
 from repro.sim.engine import ENGINE_BACKEND  # noqa: E402
 
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_substrate.json"
-# v4: adds the fixed-seed *open-loop* end-to-end row (Poisson arrivals at
-# 0.8x of measured saturation) and stamps each row's arrival mode.  v3 added
-# ``engine_backend`` metadata (which scheduler kernel produced the samples);
-# perf ratios against a baseline from the other backend are informational,
-# not regressions.
-SCHEMA_VERSION = 4
+# v5: every end-to-end row records ``mem_peak_mb`` (tracemalloc peak of a
+# dedicated traced run), and a million-key ``ycsb_xlarge`` row (tapir, the
+# columnar storage backend's flagship tier) joins the table alongside the
+# ``zipf_1m`` micro bench.  v4 added the fixed-seed *open-loop* end-to-end
+# row (Poisson arrivals at 0.8x of measured saturation) and stamped each
+# row's arrival mode.  v3 added ``engine_backend`` metadata (which scheduler
+# kernel produced the samples); perf ratios against a baseline from the
+# other backend are informational, not regressions.
+SCHEMA_VERSION = 5
 
-#: Fixed-seed end-to-end rows measured next to the micro benches:
-#: ``(row_name, workload, arrival)`` — ``arrival=None`` is the closed loop,
-#: a dict is an :class:`repro.arrivals.ArrivalSpec` JSON form.
+
+class E2ERow(NamedTuple):
+    """One fixed-seed end-to-end row measured next to the micro benches."""
+
+    name: str
+    protocol: str
+    workload: str
+    scale: str
+    #: ``None`` is the closed loop, a dict is an
+    #: :class:`repro.arrivals.ArrivalSpec` JSON form.
+    arrival: Optional[dict]
+    #: Cap on ``--repeats`` for this row (0 = no cap).  The million-key tier
+    #: takes tens of seconds per run; best-of-3 would triple the gate's wall
+    #: time for noise-damping the small rows don't need at that duration.
+    max_repeats: int
+
+
 E2E_ROWS = (
-    ("ycsb_small", "ycsb", None),
-    ("tpcc_small", "tpcc", None),
-    ("ycsb_openloop_small", "ycsb", {"kind": "poisson", "rate_tps": 176_000.0}),
+    E2ERow("ycsb_small", "primo", "ycsb", "small", None, 0),
+    E2ERow("tpcc_small", "primo", "tpcc", "small", None, 0),
+    E2ERow("ycsb_openloop_small", "primo", "ycsb", "small",
+           {"kind": "poisson", "rate_tps": 176_000.0}, 0),
+    E2ERow("ycsb_xlarge", "tapir", "ycsb", "xlarge", None, 1),
 )
 #: Correctness fields of an end-to-end row (machine-independent, enforced).
 E2E_CORRECTNESS_KEYS = ("committed", "aborted", "network_messages", "final_env_now")
@@ -88,50 +123,75 @@ def _arrival_stamp(arrival) -> str:
     return f"{arrival['kind']}@{rate:g}tps" if rate else arrival["kind"]
 
 
-def run_e2e_small(workload: str, arrival=None) -> dict:
-    """One fixed-seed small-scale end-to-end run (perf + correctness)."""
+def run_e2e(row: E2ERow, traced: bool = False) -> dict:
+    """One fixed-seed end-to-end run (perf + correctness).
+
+    With ``traced`` the run happens under tracemalloc and the sample gains
+    ``mem_peak_mb``; its wall clock is *not* recorded (tracing roughly
+    doubles it).
+    """
     from repro.bench.runner import SCALES, build_workload
     from repro.cluster.cluster import Cluster
     from repro.cluster.config import SystemConfig
 
-    scale = SCALES["small"]
+    scale = SCALES[row.scale]
     config = SystemConfig.for_protocol(
-        "primo",
+        row.protocol,
         duration_us=scale.duration_us,
         warmup_us=scale.warmup_us,
         workers_per_partition=scale.workers_per_partition,
         inflight_per_worker=scale.inflight_per_worker,
     )
-    cluster = Cluster(config, build_workload(scale, workload), arrival=arrival)
-    start = time.perf_counter()
-    result = cluster.run()
-    wall_s = time.perf_counter() - start
-    return {
-        "wall_s": round(wall_s, 4),
-        "arrival": _arrival_stamp(arrival),
-        "committed": result.metrics.committed,
-        "aborted": result.metrics.aborted,
-        "network_messages": result.network_messages,
-        "final_env_now": cluster.env.now,
-    }
+    if traced:
+        tracemalloc.start()
+    try:
+        cluster = Cluster(config, build_workload(scale, row.workload),
+                          arrival=row.arrival)
+        start = time.perf_counter()
+        result = cluster.run()
+        wall_s = time.perf_counter() - start
+        sample = {
+            "wall_s": round(wall_s, 4),
+            "protocol": row.protocol,
+            "scale": row.scale,
+            "arrival": _arrival_stamp(row.arrival),
+            "committed": result.metrics.committed,
+            "aborted": result.metrics.aborted,
+            "network_messages": result.network_messages,
+            "final_env_now": cluster.env.now,
+        }
+        if traced:
+            _, peak = tracemalloc.get_traced_memory()
+            sample["mem_peak_mb"] = round(peak / 2**20, 1)
+            del sample["wall_s"]
+    finally:
+        if traced:
+            tracemalloc.stop()
+    return sample
 
 
-def measure_e2e(row_name: str, workload: str, arrival, repeats: int) -> dict:
-    """Best-of-``repeats`` wall clock; correctness fields must not vary."""
-    best = None
-    for _ in range(max(1, repeats)):
-        sample = run_e2e_small(workload, arrival)
-        if best is None:
-            best = sample
-            continue
+def measure_e2e(row: E2ERow, repeats: int) -> dict:
+    """Best-of-``repeats`` wall clock plus one traced run for ``mem_peak_mb``.
+
+    Correctness fields must not vary across any of the runs (traced
+    included) — they are fixed-seed, so divergence means lost determinism.
+    """
+    if row.max_repeats:
+        repeats = min(repeats, row.max_repeats)
+    samples = [run_e2e(row) for _ in range(max(1, repeats))]
+    samples.append(run_e2e(row, traced=True))
+    best = samples[0]
+    for sample in samples[1:]:
         for key in E2E_CORRECTNESS_KEYS:
             if best[key] != sample[key]:
                 raise SystemExit(
-                    f"DETERMINISM FAIL: {row_name}.{key} varied across "
+                    f"DETERMINISM FAIL: {row.name}.{key} varied across "
                     f"repeats ({best[key]} vs {sample[key]}) — fixed-seed runs "
                     "must be reproducible within one process."
                 )
-        best["wall_s"] = min(best["wall_s"], sample["wall_s"])
+        if "wall_s" in sample:
+            best["wall_s"] = min(best["wall_s"], sample["wall_s"])
+    best["mem_peak_mb"] = samples[-1]["mem_peak_mb"]
     return best
 
 
@@ -162,34 +222,39 @@ def git_sha() -> str:
         return "unknown"
 
 
-def measure(repeats: int) -> dict:
+def measure(repeats: int, rows: Optional[tuple] = None,
+            include_micro: bool = True) -> dict:
     samples: dict = {"micro": {}}
-    for name, (fn, n) in MICRO_BENCHMARKS.items():
-        best = 0.0
-        for _ in range(repeats):
-            start = time.perf_counter()
-            fn(n)
-            elapsed = time.perf_counter() - start
-            best = max(best, n / elapsed)
-        samples["micro"][name] = {"ops_per_s": round(best, 1), "n": n}
-        print(f"  {name:<16} {best:>14,.0f} ops/s")
-    for row_name, workload, arrival in E2E_ROWS:
-        row = measure_e2e(row_name, workload, arrival, repeats)
-        samples[row_name] = row
+    if include_micro:
+        for name, (fn, n) in MICRO_BENCHMARKS.items():
+            best = 0.0
+            for _ in range(repeats):
+                start = time.perf_counter()
+                fn(n)
+                elapsed = time.perf_counter() - start
+                best = max(best, n / elapsed)
+            samples["micro"][name] = {"ops_per_s": round(best, 1), "n": n}
+            print(f"  {name:<16} {best:>14,.0f} ops/s")
+    for e2e_row in (rows if rows is not None else E2E_ROWS):
+        row = measure_e2e(e2e_row, repeats)
+        samples[e2e_row.name] = row
         print(
-            f"  {row_name:<20} {row['wall_s']:>12.3f} s   "
+            f"  {e2e_row.name:<20} {row['wall_s']:>12.3f} s  "
+            f"{row['mem_peak_mb']:>8.1f} MB peak   "
             f"(committed={row['committed']}, aborted={row['aborted']}, "
             f"arrival={row['arrival']})"
         )
     return samples
 
 
-def check(current: dict, baseline: dict, tolerance: float) -> tuple[int, list[str]]:
+def check(current: dict, baseline: dict, tolerance: float,
+          enforce_memory: bool = False) -> tuple[int, list[str]]:
     """Compare a fresh measurement against the committed baseline.
 
     Returns ``(exit_code, summary_lines)``; the exit code is non-zero only
-    for correctness mismatches, and the summary lines are Markdown rows for
-    the optional step summary.
+    for correctness mismatches — and, with ``enforce_memory``, for memory
+    ceilings blown beyond ``tolerance`` — and the summary lines are Markdown
+    rows for the optional step summary.
     """
     failures = 0
     summary: list[str] = [
@@ -212,8 +277,11 @@ def check(current: dict, baseline: dict, tolerance: float) -> tuple[int, list[st
         )
         print(f"note: {note}")
         summary.append(f"| engine backend | ℹ️ {note} |")
-    for row_name, workload, arrival in E2E_ROWS:
-        stamp = _arrival_stamp(arrival)
+    for row in E2E_ROWS:
+        row_name = row.name
+        if row_name not in current:
+            continue  # filtered out with --rows
+        stamp = _arrival_stamp(row.arrival)
         base_row = baseline.get(row_name)
         cur_row = current[row_name]
         if base_row is None:
@@ -252,6 +320,37 @@ def check(current: dict, baseline: dict, tolerance: float) -> tuple[int, list[st
                 status, marker = "ok", "✅"
             print(f"perf: {row_name:<20} {ratio:6.2f}x wall-clock vs baseline — {status}")
             summary.append(f"| `{row_name}` ({stamp}) wall clock | {marker} {ratio:.2f}x vs baseline |")
+        base_mem = base_row.get("mem_peak_mb")
+        cur_mem = cur_row.get("mem_peak_mb")
+        if base_mem and cur_mem:
+            # Memory verdict.  tracemalloc peaks are far more machine-stable
+            # than wall clock (they count Python-allocator bytes, not time),
+            # so a blown ceiling is meaningful anywhere — but still soft by
+            # default; --enforce-memory (the xlarge-smoke CI job) hardens it.
+            mem_ratio = cur_mem / base_mem
+            regressed = mem_ratio > 1.0 + tolerance
+            if regressed and enforce_memory:
+                failures += 1
+                status = "MEMORY CEILING EXCEEDED (enforced)"
+                marker = "❌ **memory ceiling exceeded**"
+                print(
+                    f"MEMORY FAIL: {row_name} peaked at {cur_mem} MB, "
+                    f"baseline ceiling is {base_mem} MB (+{tolerance:.0%} "
+                    "tolerance). If the growth is intentional, regenerate "
+                    "BENCH_substrate.json in this commit."
+                )
+            elif regressed:
+                status, marker = "REGRESSION (soft)", "⚠️ **soft regression**"
+            else:
+                status, marker = "ok", "✅"
+            print(
+                f"mem:  {row_name:<20} {mem_ratio:6.2f}x peak vs baseline "
+                f"({cur_mem} MB vs {base_mem} MB) — {status}"
+            )
+            summary.append(
+                f"| `{row_name}` ({stamp}) memory peak | {marker} "
+                f"{mem_ratio:.2f}x vs baseline ({cur_mem} MB vs {base_mem} MB) |"
+            )
 
     base_micro = baseline.get("micro", {})
     for name, sample in current["micro"].items():
@@ -272,8 +371,8 @@ def check(current: dict, baseline: dict, tolerance: float) -> tuple[int, list[st
         summary.append(f"| `{name}` | {marker} {ratio:.2f}x vs baseline |")
     summary.append("")
     summary.append(
-        "Perf ratios are advisory (machine-specific); correctness rows are "
-        "enforced."
+        "Perf and memory ratios are advisory (soft warnings) unless "
+        "`--enforce-memory` is set; correctness rows are always enforced."
     )
     return (1 if failures else 0), summary
 
@@ -291,7 +390,25 @@ def main() -> int:
     parser.add_argument("--summary", type=Path, default=None,
                         help="append a Markdown check summary to this file "
                              "(default: $GITHUB_STEP_SUMMARY when set)")
+    parser.add_argument("--rows", type=str, default=None,
+                        help="comma-separated end-to-end row names to measure "
+                             "(skips the micro benches; default: all rows)")
+    parser.add_argument("--enforce-memory", action="store_true",
+                        help="fail (not just warn) when an end-to-end row's "
+                             "mem_peak_mb exceeds the baseline by --tolerance")
     args = parser.parse_args()
+
+    rows = None
+    if args.rows is not None:
+        wanted = [name.strip() for name in args.rows.split(",") if name.strip()]
+        by_name = {row.name: row for row in E2E_ROWS}
+        unknown = sorted(set(wanted) - set(by_name))
+        if unknown:
+            parser.error(
+                f"unknown --rows name(s) {', '.join(unknown)}; "
+                f"known rows: {', '.join(by_name)}"
+            )
+        rows = tuple(by_name[name] for name in wanted)
 
     print(f"bench_gate: measuring substrate benchmarks (best of {args.repeats})")
     current = {
@@ -302,16 +419,22 @@ def main() -> int:
         "python": platform.python_version(),
         "machine": platform.machine(),
         "engine_backend": ENGINE_BACKEND,
-        **measure(args.repeats),
+        **measure(args.repeats, rows=rows, include_micro=rows is None),
     }
 
     if args.check:
         if not args.output.exists():
+            if rows is not None:
+                raise SystemExit(
+                    f"no baseline at {args.output} — a --rows subset cannot "
+                    "seed one (it would commit a partial baseline)"
+                )
             print(f"no baseline at {args.output} — writing one instead of checking")
             args.output.write_text(json.dumps(current, indent=2) + "\n")
             return 0
         baseline = json.loads(args.output.read_text())
-        code, summary_lines = check(current, baseline, args.tolerance)
+        code, summary_lines = check(current, baseline, args.tolerance,
+                                    enforce_memory=args.enforce_memory)
         summary_path = args.summary
         if summary_path is None and os.environ.get("GITHUB_STEP_SUMMARY"):
             summary_path = Path(os.environ["GITHUB_STEP_SUMMARY"])
@@ -321,6 +444,11 @@ def main() -> int:
             print(f"wrote check summary to {summary_path}")
         return code
 
+    if rows is not None:
+        raise SystemExit(
+            "--rows without --check would overwrite the committed baseline "
+            "with a partial measurement; regenerate the full file instead"
+        )
     args.output.write_text(json.dumps(current, indent=2) + "\n")
     print(f"wrote {args.output}")
     return 0

@@ -23,6 +23,7 @@ __all__ = [
     "bench_network_rpc",
     "bench_network_send",
     "bench_zipf",
+    "bench_zipf_1m",
     "MICRO_BENCHMARKS",
 ]
 
@@ -103,6 +104,19 @@ def bench_zipf(n: int) -> None:
         draw()
 
 
+def bench_zipf_1m(n: int) -> None:
+    """Zipf key draws over a million-key population (xlarge-tier hot path).
+
+    Setup cost (the generator's harmonic tables over 1M keys) is part of the
+    timed body on purpose: the xlarge tiers pay it once per worker stream, so
+    a regression there is a real regression of the large-tier load phase.
+    """
+    zipf = ZipfGenerator(1_000_000, 0.6, DeterministicRandom(7))
+    draw = zipf.next
+    for _ in range(n):
+        draw()
+
+
 #: name -> (body, default iteration count), as measured by the bench gate.
 MICRO_BENCHMARKS = {
     "engine_dispatch": (bench_engine_dispatch, 200_000),
@@ -111,4 +125,5 @@ MICRO_BENCHMARKS = {
     "network_rpc": (bench_network_rpc, 50_000),
     "network_send": (bench_network_send, 100_000),
     "zipf": (bench_zipf, 200_000),
+    "zipf_1m": (bench_zipf_1m, 200_000),
 }

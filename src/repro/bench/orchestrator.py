@@ -74,14 +74,18 @@ __all__ = [
 #: coexist on CI.
 SUBSTRATE_VERSION = _REPRO_VERSION
 
-#: Version of the on-disk cache file format itself.  v4: spec JSON can carry
+#: Version of the on-disk cache file format itself.  v5: result documents
+#: from runs past ``repro.sim.stats.SKETCH_THRESHOLD`` samples store a
+#: bounded-size ``latency_sketch`` instead of raw ``latency_samples`` (and are
+#: streamed to disk incrementally), so entries no longer grow with transaction
+#: count; stale v4 caches degrade to misses.  v4: spec JSON can carry
 #: an open-loop ``arrival`` process (omitted for closed-loop specs, whose
 #: cache keys are therefore unchanged); stale v3 caches degrade to misses.
 #: v3: spec JSON grew the declarative ``faults`` plan (and workload mixes),
 #: so fault schedules and mix weights are part of every cell's cache
 #: identity.  v2: cells carry a ScenarioSpec and cache keys hash its
 #: canonical JSON.
-CACHE_SCHEMA_VERSION = 4
+CACHE_SCHEMA_VERSION = 5
 
 
 @dataclass(frozen=True)
@@ -279,7 +283,15 @@ class ResultCache:
         return self.get_by_key(cell.cache_key())
 
     def put(self, cell: Cell, result_json: dict) -> None:
-        """Atomically persist one cell's serialized result."""
+        """Atomically persist one cell's serialized result.
+
+        Large results are streamed, not materialized: ``json.dump`` with
+        keyword options takes the chunked ``iterencode`` path, so the
+        document is written to the tmp file incrementally instead of being
+        built as one in-memory string.  (Result documents are also bounded
+        now — past ``SKETCH_THRESHOLD`` samples the metrics serialize a
+        fixed-size ``latency_sketch`` rather than every raw sample.)
+        """
         self.root.mkdir(parents=True, exist_ok=True)
         entry = {
             "schema": CACHE_SCHEMA_VERSION,

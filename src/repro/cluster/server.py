@@ -65,7 +65,10 @@ class Server:
         self.env: Environment = cluster.env
         self.config = cluster.config
         self.partition_id = partition_id
-        self.store = PartitionStore(self.env, partition_id, lock_policy)
+        self.store = PartitionStore(
+            self.env, partition_id, lock_policy,
+            backend=cluster.config.storage_backend,
+        )
         # Follower node ids live above the partition id space so the network
         # charges normal inter-node latency for replication traffic.
         follower_base = cluster.config.n_partitions + partition_id * 10

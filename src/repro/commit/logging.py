@@ -55,6 +55,11 @@ class LogManager:
         self._next_lsn = 1
         self._buffer: list[LogRecord] = []
         self._all_records: list[LogRecord] = []
+        # Full-history retention feeds the recovery helpers below; the
+        # cluster turns it off for fault-free runs (nothing can ever crash,
+        # so the history is unreachable) to keep log memory bounded by the
+        # unflushed tail instead of growing with every committed transaction.
+        self.retain_history = True
         self.durable_lsn = 0
         self._flush_in_progress = False
         self._flush_waiters: list[Event] = []
@@ -78,7 +83,8 @@ class LogManager:
         )
         self._next_lsn += 1
         self._buffer.append(record)
-        self._all_records.append(record)
+        if self.retain_history:
+            self._all_records.append(record)
         self.stats["appends"] += 1
         return record
 
@@ -145,13 +151,22 @@ class LogManager:
         return self.durable_lsn
 
     # -- recovery helpers ----------------------------------------------------------
+    def _require_history(self) -> None:
+        if not self.retain_history:
+            raise RuntimeError(
+                f"log history was not retained on partition {self.partition_id} "
+                "(fault-free run); recovery helpers are unavailable"
+            )
+
     def records(self, kind: Optional[LogRecordKind] = None) -> list[LogRecord]:
+        self._require_history()
         if kind is None:
             return list(self._all_records)
         return [r for r in self._all_records if r.kind is kind]
 
     def writeset_records_at_or_after(self, ts: float) -> list[LogRecord]:
         """Write-set records with transaction timestamp >= ts (rollback targets)."""
+        self._require_history()
         return [
             r
             for r in self._all_records
@@ -160,6 +175,7 @@ class LogManager:
 
     def latest_persisted_watermark(self) -> float:
         """The most recent partition watermark known durable (used at fail-over)."""
+        self._require_history()
         persisted = [
             r.payload.get("watermark", 0.0)
             for r in self._all_records

@@ -64,6 +64,11 @@ class ReplicationGroup:
         ]
         self.quorum_size = n_replicas // 2 + 1
         self.durable_lsn = 0
+        # Follower-side record retention mirrors LogManager.retain_history:
+        # the cluster turns it off for fault-free runs so replicated entries
+        # don't accumulate per follower for the whole run (acked_lsn alone
+        # carries the durability state the simulation acts on).
+        self.retain_entries = True
         self.stats = {"append_rounds": 0, "entries_replicated": 0, "elections": 0}
 
     # -- normal operation ----------------------------------------------------
@@ -87,12 +92,15 @@ class ReplicationGroup:
         follower = self.followers[0]
         roundtrip = self.network.roundtrip_us(self.partition_id, follower.replica_id)
         yield self.env.timeout(roundtrip + self.storage_persist_us)
+        retain = self.retain_entries
         for state in self.followers[: max(acks_needed, 1)]:
             state.acked_lsn = max(state.acked_lsn, up_to_lsn)
-            state.log_entries.extend(entries)
+            if retain:
+                state.log_entries.extend(entries)
         # Remaining followers catch up asynchronously (not on the critical path).
         for state in self.followers[max(acks_needed, 1):]:
-            state.log_entries.extend(entries)
+            if retain:
+                state.log_entries.extend(entries)
             state.acked_lsn = max(state.acked_lsn, up_to_lsn)
         self.durable_lsn = max(self.durable_lsn, up_to_lsn)
         return self.durable_lsn

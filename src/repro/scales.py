@@ -92,6 +92,40 @@ _PRESETS = {
         tatp_subscribers_per_partition=20_000,
         smallbank_accounts_per_partition=20_000,
     ),
+    # Million-key tiers (ROADMAP item 3).  Only feasible on the columnar
+    # storage backend (storage_backend="auto" + a fixed workload schema):
+    # dict-backed tables need ~8x the memory at these populations.  The
+    # simulated durations are short — the point of these tiers is *population*
+    # (cold caches, deep Zipf tails, hundreds of concurrent clients), not
+    # simulated seconds, and loading dominates wall-clock anyway.
+    "xlarge": BenchScale(
+        name="xlarge",
+        duration_us=20_000.0,
+        warmup_us=5_000.0,
+        workers_per_partition=25,       # x4 partitions x2 inflight = 200 clients
+        inflight_per_worker=2,
+        ycsb_keys_per_partition=250_000,  # x4 partitions = 1M keys
+        tpcc_warehouses_per_partition=32,
+        tpcc_items=5_000,
+        tpcc_customers_per_district=500,
+        sweep_points=3,
+        tatp_subscribers_per_partition=250_000,
+        smallbank_accounts_per_partition=125_000,  # x2 tables x4 = 1M rows
+    ),
+    "web": BenchScale(
+        name="web",
+        duration_us=20_000.0,
+        warmup_us=5_000.0,
+        workers_per_partition=25,       # x4 partitions x5 inflight = 500 clients
+        inflight_per_worker=5,
+        ycsb_keys_per_partition=1_250_000,  # x4 partitions = 5M keys
+        tpcc_warehouses_per_partition=64,
+        tpcc_items=10_000,
+        tpcc_customers_per_district=1_000,
+        sweep_points=3,
+        tatp_subscribers_per_partition=1_250_000,
+        smallbank_accounts_per_partition=625_000,  # x2 tables x4 = 5M rows
+    ),
 }
 
 
@@ -114,12 +148,20 @@ TINY_SCALE = BenchScale(
     smallbank_accounts_per_partition=500,
 )
 
+_DESCRIPTIONS = {
+    "xlarge": "1M YCSB keys, 200 clients; needs the columnar storage backend",
+    "web": "5M YCSB keys, 500 clients; needs the columnar storage backend",
+}
+
 register_scale(TINY_SCALE, description="test/gate preset: fraction of a second per cell")
 for _name, _scale in _PRESETS.items():
     register_scale(
         _scale,
-        description=f"{_scale.duration_us / 1000.0:g} ms simulated, "
-                    f"{_scale.sweep_points} sweep points",
+        description=_DESCRIPTIONS.get(
+            _name,
+            f"{_scale.duration_us / 1000.0:g} ms simulated, "
+            f"{_scale.sweep_points} sweep points",
+        ),
     )
 del _name, _scale
 

@@ -3,8 +3,10 @@
 from .engine import Environment, Event, Interrupt, Process, SimulationError, Timeout, all_of, any_of
 from .network import Network, NetworkStats, NodeUnreachable
 from .randgen import DeterministicRandom, ZipfGenerator, derive_seed
+from .sketch import LatencySketch
 from .stats import (
     BREAKDOWN_COMPONENTS,
+    SKETCH_THRESHOLD,
     BreakdownTimer,
     Counter,
     LatencyRecorder,
@@ -27,8 +29,10 @@ __all__ = [
     "ZipfGenerator",
     "derive_seed",
     "BREAKDOWN_COMPONENTS",
+    "SKETCH_THRESHOLD",
     "BreakdownTimer",
     "Counter",
     "LatencyRecorder",
+    "LatencySketch",
     "RunMetrics",
 ]

@@ -1,0 +1,205 @@
+"""Fixed-memory streaming latency quantiles (HDR-histogram-style).
+
+At the ``xlarge``/``web`` scale tiers a run commits millions of transactions;
+retaining every latency sample (``LatencyRecorder``'s ``array('d')``) costs
+8 bytes per transaction and makes serialized ``RunResult`` JSON grow with run
+length.  :class:`LatencySketch` replaces the raw samples with log-bucketed
+counts: memory and JSON size are bounded by the number of *distinct occupied
+buckets* (a few hundred for any realistic latency distribution), independent
+of sample count.
+
+Bucketing is exact integer arithmetic — no ``math.log`` — so results are
+bit-identical across platforms, which the fixed-seed goldens require:
+
+* a sample ``v`` (µs) is quantized to ``ticks = int(v * TICKS_PER_UNIT)``
+  (eighth-of-a-µs resolution);
+* ticks below ``2**SUB_BITS`` index their own bucket (exact);
+* larger ticks use HDR indexing: with ``e = ticks.bit_length() - 1`` (the
+  octave) the bucket keeps the top ``SUB_BITS`` significant bits, giving
+  ``2**(SUB_BITS - 1)`` buckets per octave and relative bucket width
+  ``2**(1 - SUB_BITS)``.
+
+With ``SUB_BITS = 8`` every quantile estimate is within 1/128 (≈0.8%)
+relative error plus one tick (0.125 µs) of the exact sample — the bound the
+property tests in ``tests/sim/test_sketch.py`` pin.  The running count, sum
+and max are tracked exactly, so ``mean`` and ``max`` (and ``percentile(0)`` /
+``percentile(100)``) stay sample-exact; only interior quantiles are
+bucket-resolution-exact.
+
+Percentile semantics mirror :class:`~repro.sim.stats.LatencyRecorder`'s
+nearest-rank rule (same rank formula), then report the midpoint of the
+selected bucket, clamped into the observed ``[min, max]`` range.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+__all__ = ["LatencySketch", "SUB_BITS", "TICKS_PER_UNIT", "RELATIVE_ERROR"]
+
+#: Significant bits kept per bucket index; 8 → 128 buckets per octave.
+SUB_BITS = 8
+
+#: Integer ticks per µs (values are quantized to 1/8 µs before bucketing).
+TICKS_PER_UNIT = 8
+
+#: Full bucket width relative to the bucket's value: quantile estimates are
+#: within ``value * RELATIVE_ERROR + 1/TICKS_PER_UNIT`` of the exact
+#: nearest-rank sample.
+RELATIVE_ERROR = 2.0 ** (1 - SUB_BITS)
+
+_EXACT_LIMIT = 1 << SUB_BITS          # ticks below this index themselves
+_HALF = 1 << (SUB_BITS - 1)           # buckets per octave
+
+
+def _bucket_of(ticks: int) -> int:
+    """Bucket index for a non-negative integer tick count (pure int ops)."""
+    if ticks < _EXACT_LIMIT:
+        return ticks
+    e = ticks.bit_length() - 1
+    # Top SUB_BITS significant bits; subtract the implicit leading half so the
+    # sub-index lands in [0, _HALF).
+    sub = (ticks >> (e - (SUB_BITS - 1))) - _HALF
+    return _EXACT_LIMIT + (e - SUB_BITS) * _HALF + sub
+
+
+def _bucket_bounds_ticks(index: int) -> tuple[int, int]:
+    """Inclusive lower / exclusive upper tick bounds of a bucket."""
+    if index < _EXACT_LIMIT:
+        return index, index + 1
+    octave, sub = divmod(index - _EXACT_LIMIT, _HALF)
+    e = octave + SUB_BITS
+    width = 1 << (e - (SUB_BITS - 1))
+    lo = (1 << e) + sub * width
+    return lo, lo + width
+
+
+class LatencySketch:
+    """Streaming log-bucketed histogram with exact count/sum/min/max."""
+
+    __slots__ = ("_buckets", "_count", "_sum", "_min", "_max")
+
+    def __init__(self) -> None:
+        self._buckets: dict[int, int] = {}
+        self._count = 0
+        self._sum = 0.0
+        self._min = 0.0
+        self._max = 0.0
+
+    # -- recording -----------------------------------------------------------
+    def record(self, value: float) -> None:
+        ticks = int(value * TICKS_PER_UNIT)
+        if ticks < 0:
+            ticks = 0
+        index = ticks if ticks < _EXACT_LIMIT else _bucket_of(ticks)
+        buckets = self._buckets
+        buckets[index] = buckets.get(index, 0) + 1
+        if self._count == 0:
+            self._min = self._max = value
+        else:
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+        self._count += 1
+        self._sum += value
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.record(value)
+
+    # -- accessors -----------------------------------------------------------
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        if self._count == 0:
+            return 0.0
+        return self._sum / self._count
+
+    @property
+    def max(self) -> float:
+        return self._max
+
+    @property
+    def min(self) -> float:
+        return self._min
+
+    def percentile(self, pct: float) -> float:
+        """Nearest-rank percentile; same rank rule as ``LatencyRecorder``."""
+        n = self._count
+        if n == 0:
+            return 0.0
+        if pct <= 0:
+            return self._min
+        if pct >= 100:
+            return self._max
+        rank = max(0, min(n - 1, int(round(pct / 100.0 * n)) - 1))
+        seen = 0
+        for index in sorted(self._buckets):
+            seen += self._buckets[index]
+            if seen > rank:
+                lo, hi = _bucket_bounds_ticks(index)
+                estimate = (lo + hi) * 0.5 / TICKS_PER_UNIT
+                # The true sample lies in [min, max]; clamping tightens the
+                # edge buckets the observed extremes only partially fill.
+                return min(self._max, max(self._min, estimate))
+        return self._max  # pragma: no cover — unreachable (counts sum to n)
+
+    # -- merge / serialization -------------------------------------------------
+    def merge(self, other: "LatencySketch") -> None:
+        """Order-independent merge (shard aggregation)."""
+        if other._count == 0:
+            return
+        buckets = self._buckets
+        for index, cnt in other._buckets.items():
+            buckets[index] = buckets.get(index, 0) + cnt
+        if self._count == 0:
+            self._min, self._max = other._min, other._max
+        else:
+            self._min = min(self._min, other._min)
+            self._max = max(self._max, other._max)
+        self._count += other._count
+        self._sum += other._sum
+
+    def to_json_dict(self) -> dict:
+        """Bounded-size JSON form; inverse of :meth:`from_json_dict`.
+
+        Bucket keys are serialized as strings (JSON object keys) in ascending
+        numeric order so equal sketches serialize byte-identically.
+        """
+        return {
+            "sub_bits": SUB_BITS,
+            "ticks_per_unit": TICKS_PER_UNIT,
+            "count": self._count,
+            "sum": self._sum,
+            "min": self._min,
+            "max": self._max,
+            "buckets": {str(i): self._buckets[i] for i in sorted(self._buckets)},
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping) -> "LatencySketch":
+        sub_bits = int(data.get("sub_bits", SUB_BITS))
+        ticks = int(data.get("ticks_per_unit", TICKS_PER_UNIT))
+        if sub_bits != SUB_BITS or ticks != TICKS_PER_UNIT:
+            raise ValueError(
+                f"incompatible sketch parameters (sub_bits={sub_bits}, "
+                f"ticks_per_unit={ticks}); this build uses "
+                f"({SUB_BITS}, {TICKS_PER_UNIT})"
+            )
+        sketch = cls()
+        sketch._count = int(data["count"])
+        sketch._sum = float(data["sum"])
+        sketch._min = float(data["min"])
+        sketch._max = float(data["max"])
+        sketch._buckets = {int(k): int(v) for k, v in data["buckets"].items()}
+        return sketch
+
+    def __repr__(self) -> str:  # pragma: no cover — debugging aid
+        return (
+            f"LatencySketch(count={self._count}, buckets={len(self._buckets)}, "
+            f"mean={self.mean:.1f}, max={self._max:.1f})"
+        )

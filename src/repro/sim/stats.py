@@ -13,7 +13,13 @@ times, so recording is kept allocation-free.
 * :class:`LatencyRecorder` appends to a C-backed ``array('d')`` and sorts
   on demand: the sorted view is computed once and cached until the next
   append invalidates it, so ``p50``/``p99``/``max`` after a run each cost a
-  cached lookup instead of a fresh full sort.
+  cached lookup instead of a fresh full sort.  Above ``SKETCH_THRESHOLD``
+  samples it folds everything into a fixed-memory
+  :class:`~repro.sim.sketch.LatencySketch` and stops retaining raw samples —
+  million-transaction runs (the ``xlarge``/``web`` tiers) keep O(buckets)
+  memory and serialize to bounded JSON.  The threshold sits far above every
+  committed golden run's sample count, so all pre-existing fixed-seed
+  goldens take the exact path bit-identically.
 * :class:`BreakdownTimer` interns component names once (module-level id
   table seeded with the paper's components) and accumulates into a flat
   float list indexed by component id — ``add()`` on the commit path is two
@@ -28,13 +34,21 @@ from __future__ import annotations
 from array import array
 from typing import Iterable
 
+from .sketch import LatencySketch
+
 __all__ = [
     "Counter",
     "LatencyRecorder",
     "BreakdownTimer",
     "RunMetrics",
     "BREAKDOWN_COMPONENTS",
+    "SKETCH_THRESHOLD",
 ]
+
+#: Sample count beyond which a LatencyRecorder folds into a LatencySketch.
+#: Deliberately far above the sample counts of every committed fixed-seed
+#: golden (tiny→paper scales stay exact); only the xlarge/web tiers cross it.
+SKETCH_THRESHOLD = 100_000
 
 # Latency components reported in the paper's breakdown figures.
 BREAKDOWN_COMPONENTS = (
@@ -97,23 +111,50 @@ class Counter:
 
 
 class LatencyRecorder:
-    """Collects latency samples and reports mean / percentiles."""
+    """Collects latency samples and reports mean / percentiles.
 
-    __slots__ = ("_samples", "_sorted")
+    Exact (every sample retained, nearest-rank percentiles) up to
+    ``SKETCH_THRESHOLD`` samples; beyond that the samples fold into a
+    fixed-memory :class:`LatencySketch` (bucket-resolution-exact percentiles,
+    sample-exact mean/max) so memory and serialized size stop growing with
+    run length.  ``sketched`` reports which regime the recorder is in.
+    """
+
+    __slots__ = ("_samples", "_sorted", "_sketch")
 
     def __init__(self) -> None:
         self._samples: array = array("d")
         # Cached ascending view; invalidated by every append/extend so the
         # sort runs once per batch of percentile queries, not once per query.
         self._sorted: array | None = None
+        self._sketch: LatencySketch | None = None
+
+    def _fold_into_sketch(self) -> None:
+        sketch = LatencySketch()
+        sketch.extend(self._samples)
+        self._sketch = sketch
+        self._samples = array("d")
+        self._sorted = None
 
     def record(self, latency: float) -> None:
+        sketch = self._sketch
+        if sketch is not None:
+            sketch.record(latency)
+            return
         self._samples.append(latency)
         self._sorted = None
+        if len(self._samples) > SKETCH_THRESHOLD:
+            self._fold_into_sketch()
 
     def extend(self, samples: Iterable[float]) -> None:
+        sketch = self._sketch
+        if sketch is not None:
+            sketch.extend(samples)
+            return
         self._samples.extend(samples)
         self._sorted = None
+        if len(self._samples) > SKETCH_THRESHOLD:
+            self._fold_into_sketch()
 
     def _ordered(self) -> array:
         ordered = self._sorted
@@ -123,17 +164,28 @@ class LatencyRecorder:
         return ordered
 
     @property
+    def sketched(self) -> bool:
+        """True once the recorder has folded into the fixed-memory sketch."""
+        return self._sketch is not None
+
+    @property
     def count(self) -> int:
+        if self._sketch is not None:
+            return self._sketch.count
         return len(self._samples)
 
     @property
     def mean(self) -> float:
+        if self._sketch is not None:
+            return self._sketch.mean
         if not self._samples:
             return 0.0
         return sum(self._samples) / len(self._samples)
 
     def percentile(self, pct: float) -> float:
         """Nearest-rank percentile (pct in [0, 100])."""
+        if self._sketch is not None:
+            return self._sketch.percentile(pct)
         if not self._samples:
             return 0.0
         ordered = self._ordered()
@@ -159,19 +211,45 @@ class LatencyRecorder:
 
     @property
     def max(self) -> float:
+        if self._sketch is not None:
+            return self._sketch.max
         if not self._samples:
             return 0.0
         return self._ordered()[-1]
 
     @property
     def samples(self) -> list[float]:
-        """The raw samples in recording order (used for serialization)."""
+        """The raw samples in recording order (used for serialization).
+
+        Only available in the exact regime; a sketched recorder no longer
+        holds raw samples — serialize via :attr:`sketch` instead.
+        """
+        if self._sketch is not None:
+            raise ValueError(
+                "recorder folded into a sketch; raw samples are gone "
+                "(serialize the sketch instead)"
+            )
         return list(self._samples)
+
+    @property
+    def sketch(self) -> LatencySketch:
+        """The fixed-memory sketch (only once :attr:`sketched` is True)."""
+        if self._sketch is None:
+            raise ValueError("recorder still holds exact samples, not a sketch")
+        return self._sketch
 
     @classmethod
     def from_samples(cls, samples: Iterable[float]) -> "LatencyRecorder":
         recorder = cls()
         recorder._samples = array("d", (float(s) for s in samples))
+        if len(recorder._samples) > SKETCH_THRESHOLD:
+            recorder._fold_into_sketch()
+        return recorder
+
+    @classmethod
+    def from_sketch(cls, sketch: LatencySketch) -> "LatencyRecorder":
+        recorder = cls()
+        recorder._sketch = sketch
         return recorder
 
 
@@ -339,25 +417,39 @@ class RunMetrics:
         Unlike :meth:`summary` this keeps the raw latency samples and counter
         values, so a deserialized ``RunMetrics`` reports byte-identical
         statistics — the property the orchestrator's on-disk cache relies on.
+        Sketched recorders (runs past ``SKETCH_THRESHOLD`` samples) serialize
+        the bounded-size sketch under ``latency_sketch`` instead of raw
+        samples, keeping document size independent of transaction count.
         """
-        return {
+        data = {
             "duration_us": self.duration_us,
             "committed": self.committed,
             "aborted": self.aborted,
             "crash_aborted": self.crash_aborted,
             "counters": self.counters.as_dict(),
-            "latency_samples": self.latency.samples,
             "breakdown": self.breakdown.to_json_dict(),
         }
+        if self.latency.sketched:
+            data["latency_sketch"] = self.latency.sketch.to_json_dict()
+        else:
+            data["latency_samples"] = self.latency.samples
+        return data
 
     @classmethod
     def from_json_dict(cls, data: dict) -> "RunMetrics":
+        sketch_doc = data.get("latency_sketch")
+        if sketch_doc is not None:
+            latency = LatencyRecorder.from_sketch(
+                LatencySketch.from_json_dict(sketch_doc)
+            )
+        else:
+            latency = LatencyRecorder.from_samples(data.get("latency_samples", []))
         return cls(
             duration_us=float(data["duration_us"]),
             committed=int(data["committed"]),
             aborted=int(data["aborted"]),
             crash_aborted=int(data.get("crash_aborted", 0)),
             counters=Counter.from_dict(data.get("counters", {})),
-            latency=LatencyRecorder.from_samples(data.get("latency_samples", [])),
+            latency=latency,
             breakdown=BreakdownTimer.from_json_dict(data.get("breakdown", {})),
         )

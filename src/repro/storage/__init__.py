@@ -1,11 +1,14 @@
 """Storage substrate: records, tables, indexes, locks and partition stores."""
 
+from .columnar import ColumnarRecord, ColumnarTable, TableSchema
 from .lock import LockManager, LockMode, LockPolicy, LockRequest, LockState
 from .partition import PartitionStore
 from .record import Record
 from .table import SecondaryIndex, Table, TableError
 
 __all__ = [
+    "ColumnarRecord",
+    "ColumnarTable",
     "LockManager",
     "LockMode",
     "LockPolicy",
@@ -16,4 +19,5 @@ __all__ = [
     "SecondaryIndex",
     "Table",
     "TableError",
+    "TableSchema",
 ]

@@ -1,0 +1,436 @@
+"""Columnar storage backend for fixed-schema tables (the million-key tier).
+
+The dict-backed :class:`~repro.storage.table.Table` pays ~400 bytes of boxed
+Python objects per row (a :class:`~repro.storage.record.Record` instance plus
+a per-row value dict plus boxed column values).  At the ``xlarge``/``web``
+scale tiers — millions of keys — that overhead, not the event kernel, is what
+exhausts memory.  :class:`ColumnarTable` stores the same rows as parallel
+C-backed ``array`` columns (8 bytes per numeric cell) plus flat metadata
+arrays for the TicToc timestamps, the Silo version counter and the deleted
+flag: ~50 bytes per row for YCSB's two-field schema, an ~8x reduction.
+
+The columnar table sits behind the exact ``Table``/``Record`` interface the
+protocols already use: :meth:`ColumnarTable.get` hands back a
+:class:`ColumnarRecord` *view* whose attribute reads and writes go straight
+to the backing arrays.  Views are ephemeral (a fresh one per access) but
+compare and hash by ``(table, row)``, so the lock manager's per-transaction
+held-lock sets — which rely on record identity with the dict backend — keep
+working when two views of one row meet.  Lock state stays sparse: a dict
+keyed by row index holds :class:`~repro.storage.lock.LockState` only for the
+rows that have ever been locked.
+
+Which backend a table uses is decided at creation time
+(:meth:`repro.storage.partition.PartitionStore.create_table`): workloads with
+a fixed numeric schema (YCSB, Smallbank) pass a :class:`TableSchema`;
+dynamic-schema workloads (TPC-C's mixed-type rows and secondary-index
+lookups) pass none and keep the dict backend, which remains the bit-identical
+reference (``storage_backend="dict"`` forces it everywhere).
+
+Simulation semantics are backend-independent by construction: the columnar
+path stores the same values, applies the same unique-key/missing-key errors,
+and never changes event ordering — fixed-seed runs produce bit-identical
+results under either backend (pinned by ``tests/integration``).
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Any, Callable, Iterator, Optional
+
+from .table import SecondaryIndex, TableError
+
+__all__ = ["TableSchema", "ColumnarTable", "ColumnarRecord"]
+
+#: Column kind -> array typecode.  ``i`` = signed 64-bit integer, ``f`` =
+#: double.  Everything the fixed-schema workloads store is one of the two.
+_TYPECODES = {"i": "q", "f": "d"}
+
+
+class TableSchema:
+    """An ordered, typed column layout for one columnar table.
+
+    ``columns`` is a sequence of ``(name, kind)`` pairs; ``kind`` is ``"i"``
+    (64-bit signed int) or ``"f"`` (double).  Column order is the dict order
+    row snapshots are materialized in, so it should match the order the
+    workload's loader writes fields in (keeps row dicts identical across
+    backends).
+    """
+
+    __slots__ = ("columns", "names", "kinds")
+
+    def __init__(self, columns):
+        cols = tuple((str(name), str(kind)) for name, kind in columns)
+        if not cols:
+            raise ValueError("TableSchema requires at least one column")
+        seen = set()
+        for name, kind in cols:
+            if kind not in _TYPECODES:
+                raise ValueError(
+                    f"unknown column kind {kind!r} for {name!r}; use 'i' or 'f'"
+                )
+            if name in seen:
+                raise ValueError(f"duplicate column {name!r}")
+            seen.add(name)
+        self.columns = cols
+        self.names = tuple(name for name, _ in cols)
+        self.kinds = dict(cols)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        inner = ", ".join(f"{name}:{kind}" for name, kind in self.columns)
+        return f"TableSchema({inner})"
+
+
+class ColumnarRecord:
+    """A live view of one columnar row, API-compatible with ``Record``.
+
+    Attribute reads and writes (``wts``/``rts``/``version``/``lock_state``/
+    ``deleted``/``value``) go straight to the owning table's arrays, so a view
+    is safe to hold across simulation yields: every view of a row observes
+    every other view's writes.  Equality and hashing are by ``(table, row)``
+    because the lock manager tracks held locks in sets of records.
+    """
+
+    __slots__ = ("_t", "_row", "key")
+
+    def __init__(self, table: "ColumnarTable", row: int, key):
+        self._t = table
+        self._row = row
+        self.key = key
+
+    # -- identity (lock-manager held-sets rely on it) ----------------------
+    def __hash__(self) -> int:
+        return hash((id(self._t), self._row))
+
+    def __eq__(self, other) -> bool:
+        if type(other) is not ColumnarRecord:
+            return NotImplemented
+        return self._t is other._t and self._row == other._row
+
+    # -- concurrency-control metadata --------------------------------------
+    @property
+    def wts(self) -> float:
+        return self._t._wts[self._row]
+
+    @wts.setter
+    def wts(self, ts: float) -> None:
+        self._t._wts[self._row] = ts
+
+    @property
+    def rts(self) -> float:
+        return self._t._rts[self._row]
+
+    @rts.setter
+    def rts(self, ts: float) -> None:
+        self._t._rts[self._row] = ts
+
+    @property
+    def version(self) -> int:
+        return self._t._version[self._row]
+
+    @version.setter
+    def version(self, v: int) -> None:
+        self._t._version[self._row] = v
+
+    @property
+    def lock_state(self):
+        return self._t._lock_states.get(self._row)
+
+    @lock_state.setter
+    def lock_state(self, state) -> None:
+        self._t._lock_states[self._row] = state
+
+    @property
+    def deleted(self) -> bool:
+        return bool(self._t._deleted[self._row])
+
+    @deleted.setter
+    def deleted(self, flag: bool) -> None:
+        self._t._deleted[self._row] = 1 if flag else 0
+
+    # -- value access -------------------------------------------------------
+    @property
+    def value(self) -> dict:
+        """The row materialized as a column-ordered dict (a private copy)."""
+        t, row = self._t, self._row
+        return {name: col[row] for name, col in t._columns}
+
+    @value.setter
+    def value(self, new_value: dict) -> None:
+        self._t._write_row(self._row, new_value, full=True)
+
+    def snapshot(self) -> dict:
+        return self.value
+
+    def get(self, column: str, default: Any = None) -> Any:
+        col = self._t._by_name.get(column)
+        if col is None:
+            return default
+        return col[self._row]
+
+    def install(self, new_value: dict, ts: float) -> None:
+        t, row = self._t, self._row
+        t._write_row(row, new_value, full=True)
+        t._wts[row] = ts
+        t._rts[row] = ts
+        t._version[row] += 1
+
+    def install_fields(self, updates: dict, ts: float) -> None:
+        t, row = self._t, self._row
+        t._write_row(row, updates, full=False)
+        t._wts[row] = ts
+        t._rts[row] = ts
+        t._version[row] += 1
+
+    def extend_rts(self, ts: float) -> None:
+        rts = self._t._rts
+        if ts > rts[self._row]:
+            rts[self._row] = ts
+
+    def valid_at(self, ts: float) -> bool:
+        row = self._row
+        return self._t._wts[row] <= ts <= self._t._rts[row]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"ColumnarRecord(key={self.key!r}, wts={self.wts}, rts={self.rts}, "
+            f"version={self.version})"
+        )
+
+
+class ColumnarTable:
+    """Array-backed fixed-schema table, API-compatible with ``Table``.
+
+    Primary keys are expected to be the dense integers ``0..n-1`` the
+    workload loaders produce (rows are addressed by key directly, no per-key
+    dict at all); out-of-order or non-contiguous integer keys transparently
+    fall back to a sparse ``key -> row`` map, so recovery redelivery and
+    ad-hoc inserts stay correct — they just pay the map.
+    """
+
+    def __init__(self, name: str, schema: TableSchema):
+        self.name = name
+        self.schema = schema
+        # One array per column, plus flat metadata arrays indexed by row.
+        self._by_name: dict[str, array] = {
+            col: array(_TYPECODES[kind]) for col, kind in schema.columns
+        }
+        self._columns: tuple = tuple(self._by_name.items())
+        self._wts = array("d")
+        self._rts = array("d")
+        self._version = array("q")
+        self._deleted = bytearray()
+        # Sparse: row index -> LockState, only for rows ever contended.
+        self._lock_states: dict[int, Any] = {}
+        # Dense mode stores *no key objects at all*: keys are exactly the row
+        # indices 0..n-1 (what every workload loader produces), which at 1M
+        # rows saves ~36 bytes/row of boxed ints + list slots.  The first
+        # out-of-order key materializes `_keys` (row -> key) and `_key_rows`
+        # (key -> row) and the table runs sparse from then on.
+        self._n_rows = 0
+        self._keys: Optional[list] = None       # row -> key (sparse mode only)
+        self._key_rows: Optional[dict] = None   # key -> row (sparse mode only)
+        self._dense = True
+        self._live_count = 0
+        self._indexes: dict[str, SecondaryIndex] = {}
+
+    # -- sizing ------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._live_count
+
+    def __contains__(self, key) -> bool:
+        return self.get(key) is not None
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate bytes held by the backing arrays (diagnostics)."""
+        total = len(self._deleted)
+        for _, col in self._columns:
+            total += len(col) * col.itemsize
+        for meta in (self._wts, self._rts, self._version):
+            total += len(meta) * meta.itemsize
+        return total
+
+    # -- key routing ---------------------------------------------------------
+    def _row_of(self, key) -> int:
+        """Row index for ``key``, or -1 when absent."""
+        if self._dense:
+            if type(key) is int and 0 <= key < self._n_rows:
+                return key
+            return -1
+        row = self._key_rows.get(key, -1)
+        return row
+
+    def _key_of(self, row: int):
+        """Primary key of ``row`` (identity in dense mode)."""
+        return row if self._dense else self._keys[row]
+
+    def _go_sparse(self) -> None:
+        self._dense = False
+        self._keys = list(range(self._n_rows))
+        self._key_rows = {row: row for row in range(self._n_rows)}
+
+    # -- index management ---------------------------------------------------
+    def create_index(self, name: str, key_func: Callable[[dict], Any]) -> SecondaryIndex:
+        if name in self._indexes:
+            raise TableError(f"index {name!r} already exists on table {self.name!r}")
+        index = SecondaryIndex(name, key_func)
+        columns = self._columns
+        for row in range(self._n_rows):
+            if not self._deleted[row]:
+                index.add(self._key_of(row), {col: arr[row] for col, arr in columns})
+        self._indexes[name] = index
+        return index
+
+    def index(self, name: str) -> SecondaryIndex:
+        try:
+            return self._indexes[name]
+        except KeyError as exc:
+            raise TableError(f"no index {name!r} on table {self.name!r}") from exc
+
+    def index_lookup(self, index_name: str, index_key) -> list:
+        return self.index(index_name).lookup(index_key)
+
+    # -- record access -------------------------------------------------------
+    def get(self, key) -> Optional[ColumnarRecord]:
+        row = self._row_of(key)
+        if row < 0 or self._deleted[row]:
+            return None
+        return ColumnarRecord(self, row, key)
+
+    def require(self, key) -> ColumnarRecord:
+        record = self.get(key)
+        if record is None:
+            raise TableError(f"key {key!r} not found in table {self.name!r}")
+        return record
+
+    def _write_row(self, row: int, values: dict, *, full: bool) -> None:
+        by_name = self._by_name
+        for col, value in values.items():
+            arr = by_name.get(col)
+            if arr is None:
+                raise TableError(
+                    f"column {col!r} not in the fixed schema of columnar "
+                    f"table {self.name!r} (columns: {', '.join(self.schema.names)})"
+                )
+            arr[row] = value
+        if full:
+            for col, arr in self._columns:
+                if col not in values:
+                    arr[row] = 0
+
+    def _append_row(self, key, value: dict) -> int:
+        by_name = self._by_name
+        if len(value) > len(by_name) or any(col not in by_name for col in value):
+            unknown = [col for col in value if col not in by_name]
+            raise TableError(
+                f"column {unknown[0]!r} not in the fixed schema of columnar "
+                f"table {self.name!r} (columns: {', '.join(self.schema.names)})"
+            )
+        row = self._n_rows
+        if self._dense and not (type(key) is int and key == row):
+            self._go_sparse()
+        if not self._dense:
+            self._keys.append(key)
+            self._key_rows[key] = row
+        for col, arr in self._columns:
+            item = value.get(col, 0)
+            try:
+                arr.append(item)
+            except TypeError as exc:
+                # Roll the half-appended row back before raising so the
+                # arrays stay rectangular.
+                for _, done in self._columns:
+                    if len(done) > row:
+                        done.pop()
+                if not self._dense:
+                    self._keys.pop()
+                    del self._key_rows[key]
+                raise TableError(
+                    f"column {col!r} of columnar table {self.name!r} is "
+                    f"numeric; got {item!r}"
+                ) from exc
+        self._wts.append(0.0)
+        self._rts.append(0.0)
+        self._version.append(0)
+        self._deleted.append(0)
+        self._n_rows = row + 1
+        return row
+
+    def insert(self, key, value: dict) -> ColumnarRecord:
+        """Insert a new row; duplicate keys are an error (unique-key constraint)."""
+        row = self._row_of(key)
+        if row >= 0:
+            if not self._deleted[row]:
+                raise TableError(f"duplicate key {key!r} in table {self.name!r}")
+            # Reuse the tombstoned row in place.
+            self._write_row(row, value, full=True)
+            self._wts[row] = 0.0
+            self._rts[row] = 0.0
+            self._version[row] += 1
+            self._deleted[row] = 0
+        else:
+            row = self._append_row(key, value)
+        self._live_count += 1
+        record = ColumnarRecord(self, row, key)
+        if self._indexes:
+            materialized = record.value
+            for index in self._indexes.values():
+                index.add(key, materialized)
+        return record
+
+    def upsert(self, key, value: dict) -> ColumnarRecord:
+        """Insert or overwrite without raising on duplicates (loader use only)."""
+        row = self._row_of(key)
+        if row < 0:
+            return self.insert(key, value)
+        if self._indexes:
+            old = {col: arr[row] for col, arr in self._columns}
+            for index in self._indexes.values():
+                index.remove(key, old)
+        self._write_row(row, value, full=True)
+        if self._deleted[row]:
+            self._deleted[row] = 0
+            self._live_count += 1
+        record = ColumnarRecord(self, row, key)
+        if self._indexes:
+            materialized = record.value
+            for index in self._indexes.values():
+                index.add(key, materialized)
+        return record
+
+    def delete(self, key) -> None:
+        record = self.require(key)
+        row = record._row
+        if self._indexes:
+            materialized = record.value
+            for index in self._indexes.values():
+                index.remove(key, materialized)
+        self._deleted[row] = 1
+        self._live_count -= 1
+
+    def keys(self) -> Iterator:
+        deleted = self._deleted
+        if self._dense:
+            return (row for row in range(self._n_rows) if not deleted[row])
+        keys = self._keys
+        return (keys[row] for row in range(self._n_rows) if not deleted[row])
+
+    def records(self) -> Iterator[ColumnarRecord]:
+        deleted = self._deleted
+        return (
+            ColumnarRecord(self, row, self._key_of(row))
+            for row in range(self._n_rows)
+            if not deleted[row]
+        )
+
+    def scan(self, predicate: Callable[[dict], bool]) -> list[ColumnarRecord]:
+        """Full scan returning live records whose value satisfies ``predicate``."""
+        out = []
+        deleted = self._deleted
+        columns = self._columns
+        for row in range(self._n_rows):
+            if deleted[row]:
+                continue
+            if predicate({col: arr[row] for col, arr in columns}):
+                out.append(ColumnarRecord(self, row, self._key_of(row)))
+        return out

@@ -3,13 +3,25 @@
 Partitions own disjoint key ranges (horizontal partitioning as in §3); the
 mapping from a key to its partition is the workload's responsibility — the
 storage layer only knows about the tables it hosts.
+
+Two table backends coexist (see :mod:`repro.storage.columnar`): the
+dict-backed :class:`~repro.storage.table.Table` (the bit-identical reference,
+required for dynamic schemas like TPC-C) and the array-backed
+:class:`~repro.storage.columnar.ColumnarTable` for fixed numeric schemas
+(YCSB, Smallbank), which costs ~8x less memory per row — the difference
+between the ``xlarge``/``web`` scale tiers fitting in RAM or not.  A workload
+opts a table in by passing a :class:`~repro.storage.columnar.TableSchema` to
+:meth:`PartitionStore.create_table`; ``backend="dict"``
+(``SystemConfig.storage_backend``) overrides every schema back to the
+reference tables for A/B parity runs.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Union
 
 from ..sim.engine import Environment
+from .columnar import ColumnarTable, TableSchema
 from .lock import LockManager, LockPolicy
 from .record import Record
 from .table import Table, TableError
@@ -25,20 +37,33 @@ class PartitionStore:
         env: Environment,
         partition_id: int,
         lock_policy: LockPolicy = LockPolicy.WAIT_DIE,
+        backend: str = "auto",
     ):
+        if backend not in ("auto", "dict"):
+            raise ValueError(
+                f"unknown storage backend {backend!r}; use 'auto' or 'dict'"
+            )
         self.env = env
         self.partition_id = partition_id
-        self.tables: dict[str, Table] = {}
+        self.backend = backend
+        self.tables: dict[str, Union[Table, ColumnarTable]] = {}
         self.lock_manager = LockManager(env, policy=lock_policy)
 
-    def create_table(self, name: str) -> Table:
+    def create_table(
+        self, name: str, schema: Optional[TableSchema] = None
+    ) -> Union[Table, ColumnarTable]:
+        """Create a table; with a ``schema`` (and ``backend="auto"``) it is
+        columnar, otherwise the dict-backed reference table."""
         if name in self.tables:
             raise TableError(f"table {name!r} already exists on partition {self.partition_id}")
-        table = Table(name)
+        if schema is not None and self.backend == "auto":
+            table: Union[Table, ColumnarTable] = ColumnarTable(name, schema)
+        else:
+            table = Table(name)
         self.tables[name] = table
         return table
 
-    def table(self, name: str) -> Table:
+    def table(self, name: str) -> Union[Table, ColumnarTable]:
         try:
             return self.tables[name]
         except KeyError as exc:
@@ -60,3 +85,14 @@ class PartitionStore:
 
     def total_records(self) -> int:
         return sum(len(t) for t in self.tables.values())
+
+    def storage_bytes(self) -> int:
+        """Approximate array bytes held by columnar tables (diagnostics).
+
+        Dict-backed tables report 0 — their footprint is spread over boxed
+        Python objects the GC owns, which ``tracemalloc`` (the bench gate's
+        memory accounting) measures instead.
+        """
+        return sum(
+            t.nbytes for t in self.tables.values() if isinstance(t, ColumnarTable)
+        )

@@ -13,6 +13,7 @@ from typing import TYPE_CHECKING, Generator
 
 from ..registry import register_workload
 from ..sim.randgen import DeterministicRandom
+from ..storage.columnar import TableSchema
 from .base import TransactionSpec, TxnSource, Workload
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -108,13 +109,17 @@ class SmallbankWorkload(Workload):
         self.config = config or SmallbankConfig()
         self.config.validate()
 
+    #: Single-float schema → columnar tables under storage_backend="auto".
+    SCHEMA = TableSchema((("balance", "f"),))
+
     def load(self, cluster: "Cluster") -> None:
+        row = {"balance": 1_000.0}
         for partition_id, server in cluster.servers.items():
-            checking = server.store.create_table("checking")
-            savings = server.store.create_table("savings")
+            checking = server.store.create_table("checking", schema=self.SCHEMA)
+            savings = server.store.create_table("savings", schema=self.SCHEMA)
             for account in range(self.config.accounts_per_partition):
-                checking.insert(account, {"balance": 1_000.0})
-                savings.insert(account, {"balance": 1_000.0})
+                checking.insert(account, row)
+                savings.insert(account, row)
 
     def make_source(self, cluster: "Cluster", partition_id: int, stream_id: int) -> _SmallbankSource:
         return _SmallbankSource(self, cluster, partition_id, self.rng(cluster, partition_id, stream_id))

@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING, Generator
 
 from ..registry import register_workload
 from ..sim.randgen import DeterministicRandom, ZipfGenerator
+from ..storage.columnar import TableSchema
 from .base import TransactionSpec, TxnSource, Workload
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -30,6 +31,12 @@ __all__ = ["YCSBConfig", "YCSBWorkload", "YCSBSource"]
 
 TABLE = "usertable"
 FIELDS = 2  # number of payload columns per record
+
+#: Fixed integer schema: lets the partition store pick the array-backed
+#: columnar tables (storage_backend="auto"), which is what makes the
+#: xlarge/web million-key tiers fit in memory.  Column order matches the
+#: loader's insert dict, so snapshots are bit-identical to the dict backend.
+SCHEMA = TableSchema(tuple((f"field{i}", "i") for i in range(FIELDS)))
 
 
 @dataclass
@@ -145,10 +152,12 @@ class YCSBWorkload(Workload):
 
     # -- loading ------------------------------------------------------------------
     def load(self, cluster: "Cluster") -> None:
+        row = {f"field{i}": 0 for i in range(FIELDS)}
         for partition_id, server in cluster.servers.items():
-            table = server.store.create_table(TABLE)
+            table = server.store.create_table(TABLE, schema=SCHEMA)
+            insert = table.insert
             for key in range(self.config.keys_per_partition):
-                table.insert(key, {f"field{i}": 0 for i in range(FIELDS)})
+                insert(key, row)
 
     # -- transaction streams --------------------------------------------------------
     def make_source(self, cluster: "Cluster", partition_id: int, stream_id: int) -> YCSBSource:

@@ -1,0 +1,106 @@
+"""Integration tests for the million-key scale tiers and the columnar backend.
+
+Pins the plumbing the ``xlarge``/``web`` tiers depend on: the tiers are
+registered scales, fixed-schema workloads get columnar tables (and TPC-C
+keeps the dict reference), ``storage_backend="dict"`` forces a bit-identical
+A/B run, and fault-free runs drop log history (the other half of the memory
+budget) while faulted runs keep it for recovery.
+"""
+
+import pytest
+
+from repro.scales import SCALES, resolve_scale
+from repro.scenario import ScenarioSpec, build, run
+from repro.storage.columnar import ColumnarTable
+from repro.storage.table import Table
+from repro.workloads.ycsb import TABLE as YCSB_TABLE
+
+
+def tiny(workload: str, **kwargs) -> ScenarioSpec:
+    return ScenarioSpec(protocol="primo", workload=workload, scale="tiny", **kwargs)
+
+
+# -- tier registration ---------------------------------------------------------
+
+def test_million_key_tiers_are_registered_scales():
+    assert "xlarge" in SCALES and "web" in SCALES
+    xlarge, web = resolve_scale("xlarge"), resolve_scale("web")
+    # 4 partitions x keys_per_partition = 1M / 5M YCSB keys.
+    assert xlarge.ycsb_keys_per_partition == 250_000
+    assert web.ycsb_keys_per_partition == 1_250_000
+    # 200 / 500 concurrent clients across the default 4 partitions.
+    assert 4 * xlarge.workers_per_partition * xlarge.inflight_per_worker == 200
+    assert 4 * web.workers_per_partition * web.inflight_per_worker == 500
+
+
+def test_scenario_spec_accepts_the_new_tiers():
+    spec = ScenarioSpec(protocol="primo", workload="ycsb", scale="xlarge")
+    assert resolve_scale(spec.scale).name == "xlarge"
+
+
+# -- backend selection ---------------------------------------------------------
+
+def test_fixed_schema_workloads_get_columnar_tables():
+    cluster = build(tiny("ycsb"))
+    for server in cluster.servers.values():
+        assert isinstance(server.store.table(YCSB_TABLE), ColumnarTable)
+    cluster = build(tiny("smallbank"))
+    for server in cluster.servers.values():
+        assert isinstance(server.store.table("checking"), ColumnarTable)
+        assert isinstance(server.store.table("savings"), ColumnarTable)
+
+
+def test_dynamic_schema_workload_keeps_dict_tables():
+    cluster = build(tiny("tpcc"))
+    for server in cluster.servers.values():
+        for name in server.store.table_names():
+            assert isinstance(server.store.table(name), Table), name
+
+
+def test_dict_override_forces_reference_tables_everywhere():
+    cluster = build(tiny("ycsb", config_overrides={"storage_backend": "dict"}))
+    for server in cluster.servers.values():
+        assert isinstance(server.store.table(YCSB_TABLE), Table)
+
+
+def test_unknown_storage_backend_rejected():
+    with pytest.raises(ValueError, match="storage_backend"):
+        run(tiny("ycsb", config_overrides={"storage_backend": "rowstore"}))
+
+
+# -- backend parity ------------------------------------------------------------
+
+@pytest.mark.parametrize("workload", ["ycsb", "smallbank"])
+def test_columnar_and_dict_backends_are_bit_identical(workload):
+    """The columnar backend must not change simulation semantics at all."""
+    auto = run(tiny(workload)).to_json_dict()
+    ref = run(tiny(workload,
+                   config_overrides={"storage_backend": "dict"})).to_json_dict()
+    # The embedded config legitimately differs by the one knob under test.
+    assert auto["extra"]["config"].pop("storage_backend") == "auto"
+    assert ref["extra"]["config"].pop("storage_backend") == "dict"
+    assert auto == ref
+
+
+# -- log retention (the other half of the memory budget) -----------------------
+
+def test_fault_free_runs_drop_log_history():
+    cluster = build(tiny("ycsb"))
+    cluster.run()
+    for server in cluster.servers.values():
+        assert not server.log.retain_history
+        assert not server.replication.retain_entries
+        with pytest.raises(RuntimeError, match="log history was not retained"):
+            server.log.records()
+
+
+def test_faulted_runs_keep_log_history_for_recovery():
+    spec = tiny("ycsb", faults=[{"kind": "crash", "at_us": 4_000, "target": 1}])
+    cluster = build(spec)
+    for server in cluster.servers.values():
+        assert server.log.retain_history
+        assert server.replication.retain_entries
+    cluster.run()
+    # The recovery sweep consumed the retained history without tripping the
+    # fault-free guard.
+    assert cluster.servers[1].log.records() is not None

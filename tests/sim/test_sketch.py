@@ -1,0 +1,220 @@
+"""Tests for the fixed-memory streaming latency sketch.
+
+Pins the three contracts the million-key tiers rely on: quantile estimates
+stay within one bucket's relative error of the exact nearest-rank sample,
+shard merges are order-independent, and the serialized form is bounded and
+lossless — plus the ``LatencyRecorder`` switchover that keeps every
+pre-existing golden on the exact path.
+"""
+
+import json
+
+import pytest
+
+from repro.sim.randgen import DeterministicRandom
+from repro.sim.sketch import (
+    RELATIVE_ERROR,
+    TICKS_PER_UNIT,
+    LatencySketch,
+)
+from repro.sim.stats import SKETCH_THRESHOLD, LatencyRecorder, RunMetrics
+
+#: The documented estimate bound: one full bucket width (relative) plus one
+#: quantization tick (absolute).
+def _bound(exact: float) -> float:
+    return abs(exact) * RELATIVE_ERROR + 1.0 / TICKS_PER_UNIT
+
+
+def _nearest_rank(pct: float, ordered: list) -> float:
+    n = len(ordered)
+    rank = max(0, min(n - 1, int(round(pct / 100.0 * n)) - 1))
+    return ordered[rank]
+
+
+def _exponential_samples(seed: int, n: int, *, shift=150.0, mean=800.0):
+    rng = DeterministicRandom(seed)
+    return [shift + rng.exponential(mean) for _ in range(n)]
+
+
+# -- accuracy ------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", [1, 7, 42])
+@pytest.mark.parametrize("pct", [10, 50, 90, 99, 99.9])
+def test_percentiles_within_one_bucket_of_exact(seed, pct):
+    samples = _exponential_samples(seed, 20_000)
+    sketch = LatencySketch()
+    sketch.extend(samples)
+    exact = _nearest_rank(pct, sorted(samples))
+    assert abs(sketch.percentile(pct) - exact) <= _bound(exact)
+
+
+def test_small_values_are_exact_to_a_tick():
+    """Ticks below 2**SUB_BITS index their own bucket — sub-tick error only."""
+    sketch = LatencySketch()
+    values = [0.0, 0.25, 3.125, 17.5, 31.875]
+    for v in values:
+        sketch.record(v)
+    for pct in (0, 25, 50, 75, 100):
+        exact = _nearest_rank(pct, values)
+        assert abs(sketch.percentile(pct) - exact) <= 1.0 / TICKS_PER_UNIT
+
+
+def test_count_sum_min_max_are_sample_exact():
+    samples = _exponential_samples(3, 5_000)
+    sketch = LatencySketch()
+    sketch.extend(samples)
+    assert sketch.count == len(samples)
+    assert sketch.min == min(samples)
+    assert sketch.max == max(samples)
+    assert sketch.mean == pytest.approx(sum(samples) / len(samples), rel=1e-12)
+    assert sketch.percentile(0) == min(samples)
+    assert sketch.percentile(100) == max(samples)
+
+
+def test_empty_and_single_sample_edges():
+    sketch = LatencySketch()
+    assert sketch.count == 0 and sketch.mean == 0.0
+    assert sketch.percentile(50) == 0.0
+    sketch.record(123.456)
+    for pct in (0, 50, 99.9, 100):
+        # One sample: every percentile is that sample (clamped to [min, max]).
+        assert sketch.percentile(pct) == pytest.approx(123.456, abs=1e-9)
+
+
+def test_negative_values_clamp_to_the_zero_bucket():
+    sketch = LatencySketch()
+    sketch.record(-5.0)  # defensive: latencies are non-negative by contract
+    assert sketch.count == 1
+    assert sketch.min == -5.0
+
+
+# -- merging -------------------------------------------------------------------
+
+def test_merge_is_commutative_and_matches_sequential_buckets():
+    shard_a = _exponential_samples(11, 30_000)
+    shard_b = _exponential_samples(22, 10_000, mean=200.0)
+
+    def sketch_of(samples):
+        sketch = LatencySketch()
+        sketch.extend(samples)
+        return sketch
+
+    ab, ba = sketch_of(shard_a), sketch_of(shard_b)
+    ab.merge(sketch_of(shard_b))
+    ba.merge(sketch_of(shard_a))
+    # A+B and B+A are byte-identical (bucket counts are ints, sum is added in
+    # the same two-operand order).
+    assert ab.to_json_dict() == ba.to_json_dict()
+    # Against the sequential fill: buckets, count, min and max are identical;
+    # the float sum may differ in the last ulps (association order).
+    whole = sketch_of(shard_a + shard_b)
+    assert ab._buckets == whole._buckets
+    assert ab.count == whole.count
+    assert ab.min == whole.min and ab.max == whole.max
+    assert ab.mean == pytest.approx(whole.mean, rel=1e-12)
+    for pct in (50, 99, 99.9):
+        assert ab.percentile(pct) == whole.percentile(pct)
+
+
+def test_merge_into_empty_adopts_the_other():
+    src = LatencySketch()
+    src.extend([1.0, 2.0, 3.0])
+    dst = LatencySketch()
+    dst.merge(src)
+    assert dst.to_json_dict() == src.to_json_dict()
+    src.merge(LatencySketch())  # merging an empty sketch is a no-op
+    assert dst.to_json_dict() == src.to_json_dict()
+
+
+# -- serialization -------------------------------------------------------------
+
+def test_json_round_trip_is_lossless_and_bounded():
+    sketch = LatencySketch()
+    sketch.extend(_exponential_samples(5, 50_000))
+    doc = sketch.to_json_dict()
+    clone = LatencySketch.from_json_dict(json.loads(json.dumps(doc)))
+    assert clone.to_json_dict() == doc
+    for pct in (50, 99, 99.9):
+        assert clone.percentile(pct) == sketch.percentile(pct)
+    # Bounded: tens of KB regardless of sample count (raw samples would be
+    # 50k floats ≈ 1 MB of JSON here).
+    assert len(json.dumps(doc)) < 50_000
+
+
+def test_from_json_dict_rejects_parameter_mismatch():
+    doc = LatencySketch().to_json_dict()
+    doc["sub_bits"] = 4
+    with pytest.raises(ValueError, match="incompatible sketch parameters"):
+        LatencySketch.from_json_dict(doc)
+
+
+# -- golden pinning ------------------------------------------------------------
+
+def test_golden_sketch_percentiles_for_fixed_seed():
+    """Bit-exact pins: bucketing is pure integer math, so these values are
+    platform-independent.  A change here means the sketch format changed —
+    bump the cache schema version with it."""
+    sketch = LatencySketch()
+    sketch.extend(_exponential_samples(42, 250_000))
+    assert sketch.count == 250_000
+    assert len(sketch._buckets) == 736
+    assert sketch.percentile(50) == 706.0
+    assert sketch.percentile(99) == 3848.0
+    assert sketch.percentile(99.9) == 5680.0
+
+
+# -- LatencyRecorder switchover ------------------------------------------------
+
+def test_recorder_stays_exact_at_the_threshold():
+    recorder = LatencyRecorder()
+    recorder.extend(float(i) for i in range(SKETCH_THRESHOLD))
+    assert not recorder.sketched
+    assert recorder.count == SKETCH_THRESHOLD
+    assert recorder.samples  # raw samples still available
+    with pytest.raises(ValueError):
+        recorder.sketch
+
+
+def test_recorder_folds_past_the_threshold():
+    recorder = LatencyRecorder()
+    recorder.extend(float(i % 1000) for i in range(SKETCH_THRESHOLD + 1))
+    assert recorder.sketched
+    assert recorder.count == SKETCH_THRESHOLD + 1
+    with pytest.raises(ValueError, match="folded into a sketch"):
+        recorder.samples
+    exact = _nearest_rank(99, sorted(float(i % 1000)
+                                     for i in range(SKETCH_THRESHOLD + 1)))
+    assert abs(recorder.p99 - exact) <= _bound(exact)
+    # Late records keep landing in the sketch.
+    recorder.record(5.0)
+    assert recorder.count == SKETCH_THRESHOLD + 2
+
+
+def test_from_samples_folds_above_threshold():
+    recorder = LatencyRecorder.from_samples(
+        float(i) for i in range(SKETCH_THRESHOLD + 10)
+    )
+    assert recorder.sketched
+
+
+def test_run_metrics_serializes_sketch_not_samples():
+    metrics = RunMetrics(duration_us=1.0, committed=SKETCH_THRESHOLD + 1)
+    metrics.latency.extend(float(i % 977) for i in range(SKETCH_THRESHOLD + 1))
+    doc = metrics.to_json_dict()
+    assert "latency_sketch" in doc and "latency_samples" not in doc
+    # Document size is bounded — independent of the transaction count.
+    assert len(json.dumps(doc)) < 100_000
+    clone = RunMetrics.from_json_dict(json.loads(json.dumps(doc)))
+    assert clone.latency.sketched
+    assert clone.latency.count == metrics.latency.count
+    assert clone.latency.p99 == metrics.latency.p99
+    assert clone.latency.p999 == metrics.latency.p999
+    assert clone.to_json_dict() == doc  # second round trip is a fixed point
+
+
+def test_run_metrics_small_runs_keep_raw_samples():
+    metrics = RunMetrics(duration_us=1.0, committed=3)
+    metrics.latency.extend([1.0, 2.0, 3.0])
+    doc = metrics.to_json_dict()
+    assert doc["latency_samples"] == [1.0, 2.0, 3.0]
+    assert "latency_sketch" not in doc

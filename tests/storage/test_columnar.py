@@ -1,0 +1,272 @@
+"""Tests for the columnar storage backend (fixed-schema tables).
+
+The columnar table must be a drop-in behind the ``Table``/``Record``
+interface: same values, same unique-key/missing-key errors, same record
+semantics — just arrays instead of boxed objects.  The memory test pins the
+reason the backend exists: an order-of-magnitude smaller footprint per row.
+"""
+
+import tracemalloc
+
+import pytest
+
+from repro.storage.columnar import ColumnarRecord, ColumnarTable, TableSchema
+from repro.storage.partition import PartitionStore
+from repro.storage.table import Table, TableError
+from repro.sim.engine import Environment
+
+SCHEMA = TableSchema((("a", "i"), ("b", "f")))
+
+
+def make_table():
+    return ColumnarTable("t", SCHEMA)
+
+
+# -- schema validation ---------------------------------------------------------
+
+def test_schema_rejects_bad_kind_duplicate_and_empty():
+    with pytest.raises(ValueError):
+        TableSchema((("x", "s"),))
+    with pytest.raises(ValueError):
+        TableSchema((("x", "i"), ("x", "f")))
+    with pytest.raises(ValueError):
+        TableSchema(())
+
+
+# -- Table interface parity ----------------------------------------------------
+
+def test_insert_get_require_matches_dict_table():
+    columnar, reference = make_table(), Table("t")
+    for table in (columnar, reference):
+        table.insert(0, {"a": 1, "b": 2.5})
+    assert columnar.get(0).value == reference.get(0).value == {"a": 1, "b": 2.5}
+    assert columnar.get(7) is None and reference.get(7) is None
+    with pytest.raises(TableError):
+        columnar.require(7)
+    assert len(columnar) == 1
+    assert 0 in columnar and 7 not in columnar
+
+
+def test_duplicate_insert_rejected():
+    table = make_table()
+    table.insert(0, {"a": 1, "b": 0.0})
+    with pytest.raises(TableError):
+        table.insert(0, {"a": 2, "b": 0.0})
+
+
+def test_delete_hides_and_reinsert_reuses_the_row():
+    table = make_table()
+    table.insert(0, {"a": 1, "b": 0.0})
+    table.insert(1, {"a": 2, "b": 0.0})
+    table.delete(0)
+    assert table.get(0) is None and 0 not in table
+    assert list(table.keys()) == [1]
+    rows_before = table._n_rows
+    table.insert(0, {"a": 9, "b": 9.0})  # tombstone reuse, no new row
+    assert table._n_rows == rows_before
+    assert table.get(0).value == {"a": 9, "b": 9.0}
+    assert len(table) == 2
+
+
+def test_upsert_overwrites_and_revives():
+    table = make_table()
+    table.insert(0, {"a": 1, "b": 1.0})
+    table.upsert(0, {"a": 2, "b": 2.0})
+    assert table.get(0).value == {"a": 2, "b": 2.0}
+    table.delete(0)
+    table.upsert(0, {"a": 3, "b": 3.0})
+    assert table.get(0).value == {"a": 3, "b": 3.0}
+    assert len(table) == 1
+
+
+def test_unknown_column_raises_table_error():
+    table = make_table()
+    with pytest.raises(TableError, match="not in the fixed schema"):
+        table.insert(0, {"a": 1, "c": 2})
+    table.insert(0, {"a": 1, "b": 0.0})
+    with pytest.raises(TableError, match="not in the fixed schema"):
+        table.get(0).install_fields({"c": 5}, ts=1.0)
+
+
+def test_non_numeric_value_rolls_back_cleanly():
+    table = make_table()
+    table.insert(0, {"a": 1, "b": 0.0})
+    with pytest.raises(TableError, match="numeric"):
+        table.insert(1, {"a": "oops", "b": 0.0})
+    # The half-appended row was rolled back: arrays stay rectangular and the
+    # next insert works.
+    assert table._n_rows == 1
+    table.insert(1, {"a": 2, "b": 0.0})
+    assert table.get(1).value == {"a": 2, "b": 0.0}
+
+
+# -- record semantics ----------------------------------------------------------
+
+def test_record_install_updates_timestamps_and_version():
+    table = make_table()
+    record = table.insert(0, {"a": 1, "b": 0.0})
+    assert record.wts == 0.0 and record.rts == 0.0 and record.version == 0
+    record.install({"a": 2}, ts=7.0)
+    assert record.value == {"a": 2, "b": 0.0}  # full install zero-fills b
+    assert record.wts == 7.0 and record.rts == 7.0 and record.version == 1
+
+
+def test_record_install_fields_merges_columns():
+    table = make_table()
+    record = table.insert(0, {"a": 1, "b": 2.0})
+    record.install_fields({"b": 5.0}, ts=3.0)
+    assert record.value == {"a": 1, "b": 5.0}
+    assert record.valid_at(3.0)
+
+
+def test_record_extend_rts_never_shrinks():
+    table = make_table()
+    record = table.insert(0, {"a": 0, "b": 0.0})
+    record.install({}, ts=5.0)
+    record.extend_rts(3.0)
+    assert record.rts == 5.0
+    record.extend_rts(9.0)
+    assert record.rts == 9.0
+    assert record.valid_at(7.0) and not record.valid_at(4.0)
+
+
+def test_record_snapshot_is_a_copy_and_get_defaults():
+    table = make_table()
+    record = table.insert(0, {"a": 1, "b": 2.0})
+    snapshot = record.snapshot()
+    snapshot["a"] = 99
+    assert record.value["a"] == 1
+    assert record.get("a") == 1
+    assert record.get("nope", "dflt") == "dflt"
+
+
+def test_views_of_one_row_share_state_and_identity():
+    """Two views of one row are the same record to the lock manager."""
+    table = make_table()
+    table.insert(0, {"a": 1, "b": 0.0})
+    table.insert(1, {"a": 2, "b": 0.0})
+    first, second = table.get(0), table.get(0)
+    assert first == second and hash(first) == hash(second)
+    assert len({first, second}) == 1  # held-lock sets rely on this
+    assert first != table.get(1)
+    first.wts = 42.0
+    assert second.wts == 42.0  # write-through to the shared arrays
+    first.lock_state = "sentinel"
+    assert second.lock_state == "sentinel"
+    assert type(second) is ColumnarRecord
+
+
+# -- dense keys and sparse fallback --------------------------------------------
+
+def test_dense_mode_stores_no_key_objects():
+    table = make_table()
+    for key in range(100):
+        table.insert(key, {"a": key, "b": 0.0})
+    assert table._dense and table._keys is None and table._key_rows is None
+    assert list(table.keys()) == list(range(100))
+    assert [r.key for r in table.records()][:3] == [0, 1, 2]
+
+
+@pytest.mark.parametrize("odd_key", [5, "user7", -3])
+def test_out_of_order_key_falls_back_to_sparse(odd_key):
+    table = make_table()
+    table.insert(0, {"a": 0, "b": 0.0})
+    table.insert(1, {"a": 1, "b": 0.0})
+    table.insert(odd_key, {"a": 9, "b": 0.0})
+    assert not table._dense
+    # Pre-existing rows keep their keys; the odd key resolves too.
+    assert table.get(0).value["a"] == 0
+    assert table.get(1).value["a"] == 1
+    assert table.get(odd_key).value["a"] == 9
+    assert list(table.keys()) == [0, 1, odd_key]
+
+
+def test_sparse_fallback_preserves_record_identity():
+    table = make_table()
+    table.insert(0, {"a": 0, "b": 0.0})
+    before = table.get(0)
+    table.insert("odd", {"a": 1, "b": 0.0})
+    after = table.get(0)
+    assert before == after  # same (table, row) even across the mode switch
+
+
+# -- scans and secondary indexes -----------------------------------------------
+
+def test_scan_filters_on_materialized_rows():
+    table = make_table()
+    for key in range(10):
+        table.insert(key, {"a": key, "b": 0.0})
+    table.delete(3)
+    hits = table.scan(lambda row: row["a"] >= 7)
+    assert sorted(r.key for r in hits) == [7, 8, 9]
+    assert all(r.value["a"] >= 7 for r in hits)
+
+
+def test_secondary_index_tracks_insert_delete_upsert():
+    table = make_table()
+    table.insert(0, {"a": 1, "b": 0.0})
+    table.create_index("by_a", lambda row: row["a"])
+    table.insert(1, {"a": 1, "b": 0.0})
+    table.insert(2, {"a": 2, "b": 0.0})
+    assert sorted(table.index_lookup("by_a", 1)) == [0, 1]
+    table.delete(1)
+    assert table.index_lookup("by_a", 1) == [0]
+    table.upsert(2, {"a": 1, "b": 0.0})
+    assert sorted(table.index_lookup("by_a", 1)) == [0, 2]
+    assert table.index_lookup("by_a", 2) == []
+    with pytest.raises(TableError):
+        table.create_index("by_a", lambda row: row["a"])
+    with pytest.raises(TableError):
+        table.index("nope")
+
+
+# -- partition-store backend selection -----------------------------------------
+
+def test_partition_store_selects_backend_by_schema():
+    store = PartitionStore(Environment(), 0)
+    assert isinstance(store.create_table("cols", schema=SCHEMA), ColumnarTable)
+    assert isinstance(store.create_table("dicts"), Table)
+    assert store.storage_bytes() == store.table("cols").nbytes
+
+
+def test_partition_store_dict_backend_overrides_schema():
+    store = PartitionStore(Environment(), 0, backend="dict")
+    assert isinstance(store.create_table("cols", schema=SCHEMA), Table)
+
+
+def test_partition_store_rejects_unknown_backend():
+    with pytest.raises(ValueError, match="unknown storage backend"):
+        PartitionStore(Environment(), 0, backend="mmap")
+
+
+# -- the point of the backend: memory ------------------------------------------
+
+def test_columnar_rows_are_at_least_5x_smaller_than_dict_rows():
+    """The acceptance bar for the million-key tiers, at a CI-friendly size."""
+    n = 50_000
+    row = {"a": 0, "b": 0.0}
+
+    def load(table):
+        for key in range(n):
+            table.insert(key, row)
+
+    tracemalloc.start()
+    base = tracemalloc.take_snapshot()
+    dict_table = Table("d")
+    load(dict_table)
+    dict_bytes = sum(
+        s.size_diff for s in tracemalloc.take_snapshot().compare_to(base, "filename")
+    )
+    del dict_table
+    base = tracemalloc.take_snapshot()
+    columnar = ColumnarTable("c", SCHEMA)
+    load(columnar)
+    columnar_bytes = sum(
+        s.size_diff for s in tracemalloc.take_snapshot().compare_to(base, "filename")
+    )
+    tracemalloc.stop()
+    assert len(columnar) == n
+    assert columnar_bytes * 5 <= dict_bytes, (
+        f"columnar rows should be >=5x smaller: {columnar_bytes:,} B vs "
+        f"{dict_bytes:,} B for {n:,} rows"
+    )
