@@ -78,7 +78,11 @@ from repro.bench.micro import MICRO_BENCHMARKS  # noqa: E402
 from repro.sim.engine import ENGINE_BACKEND  # noqa: E402
 
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_substrate.json"
-# v5: every end-to-end row records ``mem_peak_mb`` (tracemalloc peak of a
+# v6: a fixed-seed ``ycsb_storm_small`` row runs the curated "standard storm"
+# fault plan (replication faults + leader flap + stale reads) and the
+# correctness fields gain ``crash_aborted`` and ``stale_reads``, pinning the
+# fault scheduler's and the stale-read draw's determinism.  v5: every
+# end-to-end row records ``mem_peak_mb`` (tracemalloc peak of a
 # dedicated traced run), and a million-key ``ycsb_xlarge`` row (tapir, the
 # columnar storage backend's flagship tier) joins the table alongside the
 # ``zipf_1m`` micro bench.  v4 added the fixed-seed *open-loop* end-to-end
@@ -86,7 +90,7 @@ DEFAULT_OUTPUT = REPO_ROOT / "BENCH_substrate.json"
 # row's arrival mode.  v3 added ``engine_backend`` metadata (which scheduler
 # kernel produced the samples); perf ratios against a baseline from the
 # other backend are informational, not regressions.
-SCHEMA_VERSION = 5
+SCHEMA_VERSION = 6
 
 
 class E2ERow(NamedTuple):
@@ -103,6 +107,9 @@ class E2ERow(NamedTuple):
     #: takes tens of seconds per run; best-of-3 would triple the gate's wall
     #: time for noise-damping the small rows don't need at that duration.
     max_repeats: int
+    #: Named fault plan (currently only ``"standard_storm"``); ``None`` is a
+    #: fault-free run.
+    faults: Optional[str] = None
 
 
 E2E_ROWS = (
@@ -111,9 +118,12 @@ E2E_ROWS = (
     E2ERow("ycsb_openloop_small", "primo", "ycsb", "small",
            {"kind": "poisson", "rate_tps": 176_000.0}, 0),
     E2ERow("ycsb_xlarge", "tapir", "ycsb", "xlarge", None, 1),
+    E2ERow("ycsb_storm_small", "primo", "ycsb", "small", None, 0,
+           "standard_storm"),
 )
 #: Correctness fields of an end-to-end row (machine-independent, enforced).
-E2E_CORRECTNESS_KEYS = ("committed", "aborted", "network_messages", "final_env_now")
+E2E_CORRECTNESS_KEYS = ("committed", "aborted", "crash_aborted",
+                        "network_messages", "final_env_now", "stale_reads")
 
 
 def _arrival_stamp(arrival) -> str:
@@ -133,20 +143,38 @@ def run_e2e(row: E2ERow, traced: bool = False) -> dict:
     from repro.bench.runner import SCALES, build_workload
     from repro.cluster.cluster import Cluster
     from repro.cluster.config import SystemConfig
+    from repro.faults import FaultPlan, standard_storm
 
     scale = SCALES[row.scale]
-    config = SystemConfig.for_protocol(
-        row.protocol,
+    config_kwargs = dict(
         duration_us=scale.duration_us,
         warmup_us=scale.warmup_us,
         workers_per_partition=scale.workers_per_partition,
         inflight_per_worker=scale.inflight_per_worker,
     )
+    plan = None
+    if row.faults == "standard_storm":
+        from repro.bench.experiments import storm_duration_us
+
+        # Mirror the storm figure exactly: the fast failure detector (so the
+        # leader flap is detected and recovered inside the fixed-seed run)
+        # and the stretched >= 60 ms window — at the raw small-scale duration
+        # the flap's ~20 ms recovery quiesce would swallow the trailing
+        # stale-read window, leaving the stale_reads correctness key vacuous.
+        duration = storm_duration_us(scale)
+        config_kwargs.update(duration_us=duration,
+                             heartbeat_interval_us=500.0,
+                             heartbeat_timeout_us=2_000.0)
+        plan = FaultPlan(events=tuple(
+            standard_storm(scale.warmup_us, duration)))
+    elif row.faults is not None:
+        raise SystemExit(f"unknown named fault plan {row.faults!r}")
+    config = SystemConfig.for_protocol(row.protocol, **config_kwargs)
     if traced:
         tracemalloc.start()
     try:
         cluster = Cluster(config, build_workload(scale, row.workload),
-                          arrival=row.arrival)
+                          arrival=row.arrival, faults=plan)
         start = time.perf_counter()
         result = cluster.run()
         wall_s = time.perf_counter() - start
@@ -155,10 +183,13 @@ def run_e2e(row: E2ERow, traced: bool = False) -> dict:
             "protocol": row.protocol,
             "scale": row.scale,
             "arrival": _arrival_stamp(row.arrival),
+            "faults": row.faults or "none",
             "committed": result.metrics.committed,
             "aborted": result.metrics.aborted,
+            "crash_aborted": result.metrics.crash_aborted,
             "network_messages": result.network_messages,
             "final_env_now": cluster.env.now,
+            "stale_reads": result.metrics.counters.get("stale_reads"),
         }
         if traced:
             _, peak = tracemalloc.get_traced_memory()

@@ -46,7 +46,7 @@ from .core import (
     PrimoProtocol,
     WatermarkGroupCommit,
 )
-from .faults import FaultEvent, FaultPlan, fault
+from .faults import FaultEvent, FaultPlan, fault, standard_storm
 from .registry import (
     ARRIVAL_REGISTRY,
     DURABILITY_REGISTRY,
@@ -65,6 +65,7 @@ from .registry import (
 )
 from .scales import SCALES, TINY_SCALE, BenchScale
 from .scenario import ScenarioSpec, build, run, sweep
+from .sim.topology import RegionTopology
 from . import scenario as scenarios
 from .workloads import (
     MixedConfig,
@@ -100,6 +101,7 @@ __all__ = [
     "PROTOCOL_REGISTRY",
     "PROTOCOLS",
     "PrimoProtocol",
+    "RegionTopology",
     "RunResult",
     "SCALE_REGISTRY",
     "SCALES",
@@ -131,5 +133,6 @@ __all__ = [
     "register_workload",
     "run",
     "scenarios",
+    "standard_storm",
     "sweep",
 ]

@@ -48,6 +48,7 @@ __all__ = [
     "fig14_scalability",
     "fig15_tapir",
     "openloop_curves",
+    "storm_degradation",
     "appendix_analysis",
 ]
 
@@ -850,6 +851,103 @@ def openloop_curves(scale: BenchScale = SCALES["small"], *,
 
 
 # ---------------------------------------------------------------------------
+# The standard storm: degradation and recovery under replication faults
+# ---------------------------------------------------------------------------
+
+def storm_duration_us(scale: BenchScale) -> float:
+    """The storm's measurement window for ``scale``.
+
+    Leader fail-over (detection + §5.2 recovery) takes ~20-25 ms of simulated
+    time regardless of scale, so the window is stretched to fit a full
+    crash → stall → recovery arc; smaller presets keep their sizing (keys,
+    workers) and just measure longer.
+    """
+    return max(scale.duration_us * 3.0, 60_000.0)
+
+
+def storm_plan(scale: BenchScale) -> list[Cell]:
+    """One :func:`repro.faults.standard_storm` run per registered protocol."""
+    from ..faults import standard_storm
+    from ..registry import PROTOCOL_REGISTRY
+
+    duration = storm_duration_us(scale)
+    return [
+        make_cell(
+            "storm", protocol, protocol, scale,
+            faults=standard_storm(scale.warmup_us, duration),
+            duration_us=duration,
+            # A fast failure detector, so the storm's leader flap is detected
+            # and recovered well inside the measurement window.
+            heartbeat_interval_us=500.0,
+            heartbeat_timeout_us=2_000.0,
+        )
+        for protocol in PROTOCOL_REGISTRY.names()
+    ]
+
+
+def storm_render(scale: BenchScale, results: dict) -> dict:
+    """Per-protocol degradation/recovery table + the windowed tps series."""
+    from statistics import median
+
+    from ..registry import PROTOCOL_REGISTRY
+
+    print_header(
+        "The standard storm: degradation and recovery under replication faults",
+        "follower lag, slow partition, follower crash, leader flap, stale reads "
+        "— one curated plan, every protocol",
+    )
+    data: dict = {
+        "duration_us": storm_duration_us(scale),
+        "protocols": {},
+    }
+    rows = []
+    for protocol in PROTOCOL_REGISTRY.names():
+        result = results[protocol]
+        timeline = result.timeline
+        tps = timeline.throughput_tps() if timeline is not None else []
+        trimmed = tps[: len(timeline._completed_counts())] if timeline else []
+        baseline = median(trimmed) if trimmed else 0.0
+        depth = result.degradation_depth
+        t90 = result.time_to_90pct_recovery_us
+        counters = result.metrics.counters
+        series = {
+            "window_us": timeline.window_us if timeline is not None else None,
+            "throughput_tps": tps,
+            "mean_latency_us": (timeline.mean_latency_us()
+                                if timeline is not None else []),
+            "degradation_depth": depth,
+            "time_to_90pct_recovery_us": t90,
+            "stale_reads": counters.get("stale_reads"),
+            "crashes_injected": counters.get("crashes_injected"),
+            "recovery_time_us": counters.get("recovery_time_us"),
+        }
+        data["protocols"][protocol] = series
+        rows.append((
+            protocol,
+            result.throughput_ktps,
+            baseline / 1000.0,
+            (min(trimmed) / 1000.0) if trimmed else 0.0,
+            f"{depth:.0%}" if depth is not None else "-",
+            f"{t90 / 1000.0:.1f}" if t90 is not None else "never",
+            counters.get("stale_reads"),
+            counters.get("crashes_injected"),
+        ))
+    print_table(
+        ["protocol", "kTPS", "median win kTPS", "min win kTPS",
+         "depth", "t90 ms", "stale reads", "crashes"],
+        rows,
+    )
+    return data
+
+
+def storm_degradation(scale: BenchScale = SCALES["small"], *,
+                      results: Optional[dict] = None) -> dict:
+    """The standard storm across every registered protocol."""
+    cells = storm_plan(scale)
+    return storm_render(scale, _execute_inline(cells, results))
+
+
+# ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
 
@@ -888,6 +986,9 @@ _register_figure("fig15", fig15_plan, fig15_render, "comparison with TAPIR")
 _register_figure("openloop", openloop_plan, openloop_render,
                  "throughput + p50/p99/p999 latency vs offered load "
                  "(open-loop Poisson arrivals)")
+_register_figure("storm", storm_plan, storm_render,
+                 "degradation depth + time-to-recovery under the standard "
+                 "storm (replication faults), every protocol")
 _register_figure("appendix", appendix_plan, appendix_render,
                  "analytical conflict-rate model")
 
@@ -912,5 +1013,6 @@ ALL_EXPERIMENTS = {
     "fig14": fig14_scalability,
     "fig15": fig15_tapir,
     "openloop": openloop_curves,
+    "storm": storm_degradation,
     "appendix": appendix_analysis,
 }

@@ -74,7 +74,11 @@ __all__ = [
 #: coexist on CI.
 SUBSTRATE_VERSION = _REPRO_VERSION
 
-#: Version of the on-disk cache file format itself.  v5: result documents
+#: Version of the on-disk cache file format itself.  v6: spec JSON can carry
+#: a geo ``topology`` (omitted for flat-network specs, whose cache keys are
+#: therefore unchanged) and fault-run result documents carry a windowed
+#: ``timeline`` (degradation/recovery metrics); stale v5 caches degrade to
+#: misses.  v5: result documents
 #: from runs past ``repro.sim.stats.SKETCH_THRESHOLD`` samples store a
 #: bounded-size ``latency_sketch`` instead of raw ``latency_samples`` (and are
 #: streamed to disk incrementally), so entries no longer grow with transaction
@@ -85,7 +89,7 @@ SUBSTRATE_VERSION = _REPRO_VERSION
 #: so fault schedules and mix weights are part of every cell's cache
 #: identity.  v2: cells carry a ScenarioSpec and cache keys hash its
 #: canonical JSON.
-CACHE_SCHEMA_VERSION = 5
+CACHE_SCHEMA_VERSION = 6
 
 
 @dataclass(frozen=True)
@@ -138,6 +142,7 @@ def make_cell(
     workload_overrides: Optional[dict] = None,
     faults=None,
     arrival=None,
+    topology=None,
     durability_message_delay: Optional[tuple] = None,
     network_extra_delay_to: Optional[tuple] = None,
     **config_overrides,
@@ -159,6 +164,7 @@ def make_cell(
             config_overrides=config_overrides,
             faults=faults,
             arrival=arrival,
+            topology=topology,
             durability_message_delay=durability_message_delay,
             network_extra_delay_to=network_extra_delay_to,
         ),

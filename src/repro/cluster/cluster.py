@@ -30,13 +30,14 @@ from ..replication.membership import MembershipService
 from ..sim.engine import Environment
 from ..sim.network import Network
 from ..sim.randgen import DeterministicRandom, derive_seed, stable_hash
-from ..sim.stats import Counter, RunMetrics
+from ..sim.stats import Counter, RunMetrics, WindowedRecorder
+from ..sim.topology import RegionTopology
 from ..txn.transaction import Transaction
 from ..workloads.base import Workload
 from .config import SystemConfig
 from .recovery import RecoveryCoordinator
 from .results import RunResult
-from .server import Server
+from .server import Server, follower_node_base
 from .worker import worker_loop
 
 __all__ = ["Cluster"]
@@ -52,16 +53,21 @@ class Cluster:
     :class:`~repro.arrivals.ArrivalSpec` (or its kind name / JSON form)
     selecting an open-loop arrival process; ``None`` — and the explicit
     ``"closed"`` kind — run the historical closed-loop worker pool
-    bit-identically.
+    bit-identically.  ``topology`` is an optional
+    :class:`~repro.sim.topology.RegionTopology` (or its JSON form) placing
+    partition leaders and their replication followers into regions behind a
+    region×region latency matrix; ``None`` keeps the scalar-latency fast path.
     """
 
     def __init__(self, config: SystemConfig, workload: Workload,
                  faults: Optional[FaultPlan] = None,
-                 arrival: Optional[ArrivalSpec] = None):
+                 arrival: Optional[ArrivalSpec] = None,
+                 topology: Optional[RegionTopology] = None):
         config.validate()
         self.config = config
         self.workload = workload
         self.arrival = ArrivalSpec.coerce(arrival)
+        self.topology = RegionTopology.coerce(topology)
         # Per-partition open-loop admission queues (empty for closed loops);
         # their drop/depth accounting folds into ``counters`` at run end.
         self.admission_queues: dict[int, AdmissionQueue] = {}
@@ -71,7 +77,20 @@ class Cluster:
             one_way_latency_us=config.one_way_network_latency_us,
             local_latency_us=config.local_message_latency_us,
         )
+        if self.topology is not None:
+            self.network.install_topology(
+                self._resolve_node_regions(self.topology),
+                self.topology.latency_us,
+            )
         self.stopped = False
+        # ``stale_read`` fault state: per-partition fractions of reads served
+        # from the pre-durable follower snapshot during an injection window.
+        # The flag keeps the per-read check to one attribute load when no
+        # window is active, and the RNG is created lazily on first use so
+        # plans without stale_read draw nothing extra.
+        self.stale_read_active = False
+        self._stale_read_fraction: dict[int, float] = {}
+        self._stale_read_rng: Optional[DeterministicRandom] = None
         # Set by the recovery coordinator while it quiesces and rolls back;
         # workers wait on it before starting new transaction attempts.
         self.pause_event = None
@@ -119,12 +138,64 @@ class Cluster:
         self.metrics = RunMetrics()
         self._measure_start = config.warmup_us
         self._measure_end = config.warmup_us + config.duration_us
+        if self.fault_plan.events:
+            # Windowed throughput/latency time series for degradation and
+            # recovery analysis.  Only fault-plan runs pay for (and report)
+            # it, so fault-free runs keep byte-identical result documents.
+            self.metrics.timeline = WindowedRecorder(
+                window_us=config.epoch_length_us / 4.0,
+                origin_us=self._measure_start,
+            )
         self._per_txn_type: dict[str, int] = defaultdict(int)
         self._abort_reasons: dict[str, int] = defaultdict(int)
         self._started = False
 
         # Populate the database.
         self.workload.load(self)
+
+    def _resolve_node_regions(self, topology: RegionTopology) -> dict[int, int]:
+        """Map every node id — leaders and followers — to its region index."""
+        node_regions: dict[int, int] = {}
+        n_partitions = self.config.n_partitions
+        n_followers = self.config.replicas_per_partition - 1
+        for partition_id in range(n_partitions):
+            node_regions[partition_id] = topology.partition_region_index(partition_id)
+            base = follower_node_base(n_partitions, partition_id)
+            for index in range(n_followers):
+                node_regions[base + index] = topology.follower_region_index(
+                    partition_id, index)
+        return node_regions
+
+    # -- stale-read fault surface ------------------------------------------------
+    def set_stale_read_fraction(self, partition_id: int, fraction: float) -> None:
+        """Serve ``fraction`` of the partition's reads from the pre-durable
+        follower snapshot (0 clears the window)."""
+        if fraction:
+            if not 0.0 < fraction <= 1.0:
+                raise ValueError(
+                    f"stale_read fraction must be in (0, 1], got {fraction}"
+                )
+            self._stale_read_fraction[partition_id] = float(fraction)
+            if self._stale_read_rng is None:
+                self._stale_read_rng = self.rng_for("stale_read")
+        else:
+            self._stale_read_fraction.pop(partition_id, None)
+        self.stale_read_active = bool(self._stale_read_fraction)
+
+    def note_read(self, partition_id: int) -> None:
+        """Called per read while a stale_read window is active: draw whether
+        this read observed the follower snapshot at the durable watermark.
+
+        The model is observational — the read's *freshness* degrades (counted
+        as ``stale_reads``), the value itself is the snapshot the §5.2
+        guarantee would serve — so timing and commit counts stay identical to
+        the no-fault run; the RNG draws only inside the window.
+        """
+        fraction = self._stale_read_fraction.get(partition_id)
+        if not fraction:
+            return
+        if self._stale_read_rng.boolean(fraction):
+            self.counters.increment("stale_reads")
 
     # -- helpers used by protocols / schemes / workloads ----------------------------
     def rng_for(self, label: str) -> DeterministicRandom:
@@ -149,6 +220,14 @@ class Cluster:
         self.metrics.committed += 1
         self._per_txn_type[txn.name] += 1
         txn.breakdown["_counted"] = 1.0
+        if self.metrics.timeline is not None:
+            # The throughput series counts *commits* as they happen: durable
+            # notifications resolve in batches (and a crash can swallow them
+            # entirely), which would erase the degradation curve the timeline
+            # exists to show.  Latency is attributed to the commit window when
+            # the durable notification resolves it (see record_durable).
+            self.metrics.timeline.record(self.env._now)
+            txn.breakdown["_commit_time"] = self.env._now
 
     def record_durable(self, server: Server, txn: Transaction) -> None:
         """The transaction's result was returned to the client."""
@@ -156,7 +235,16 @@ class Cluster:
         if "_counted" not in breakdown:
             return
         metrics = self.metrics
-        metrics.latency.record(max(0.0, txn.durable_time - txn.first_start_time))
+        latency = max(0.0, txn.durable_time - txn.first_start_time)
+        metrics.latency.record(latency)
+        if metrics.timeline is not None:
+            # Attributed to the commit window (stamped in record_commit); the
+            # latency itself runs through to durability, so a pre-crash commit
+            # that waits out recovery shows up as a latency spike in the
+            # window where it committed.
+            metrics.timeline.record_latency(
+                breakdown.get("_commit_time", txn.durable_time), latency
+            )
         timer = metrics.breakdown
         for component, value in breakdown.items():
             if not component.startswith("_"):
@@ -175,6 +263,8 @@ class Cluster:
             # The transaction had been counted committed but its epoch /
             # watermark batch was lost to a crash: undo the count.
             self.metrics.committed -= 1
+            if self.metrics.timeline is not None and "_commit_time" in txn.breakdown:
+                self.metrics.timeline.unrecord(txn.breakdown["_commit_time"])
         self.metrics.crash_aborted += 1
         self._abort_reasons["crash"] += 1
 

@@ -99,6 +99,7 @@ class RecoveryCoordinator:
         cluster = self.cluster
         failed = cluster.servers[partition_id]
         self.stats["recoveries"] += 1
+        recovery_started = self.env.now
 
         # (1) leader re-election inside the failed partition's replica group.
         yield from failed.replication.elect_new_leader()
@@ -162,6 +163,12 @@ class RecoveryCoordinator:
         cluster.pause_event = None
         self._in_progress.discard(partition_id)
         cluster.counters.increment("recoveries_completed")
+        # Elapsed simulated time of the whole §5.2 sequence (election through
+        # resume) — the storm figure reports it alongside degradation depth.
+        # Counters are integer-valued; whole microseconds are plenty here.
+        cluster.counters.increment(
+            "recovery_time_us", int(round(self.env.now - recovery_started))
+        )
 
     def _redeliver_lost_writes(self, crashed_partition: int, agreed_watermark: float) -> int:
         """Re-install writes below the agreed watermark that never reached the

@@ -82,6 +82,32 @@ class RunResult:
     def breakdown_us(self) -> dict:
         return self.metrics.breakdown.per_transaction()
 
+    # -- degradation/recovery (fault-plan runs record a windowed timeline) -----
+    @property
+    def timeline(self):
+        """The run's :class:`~repro.sim.stats.WindowedRecorder` (or ``None``
+        for fault-free runs, which skip timeline recording entirely)."""
+        return self.metrics.timeline
+
+    @property
+    def degradation_depth(self):
+        """Deepest throughput dip relative to the median window (0..1), or
+        ``None`` when the run recorded no timeline."""
+        if self.metrics.timeline is None:
+            return None
+        return self.metrics.timeline.degradation_depth()
+
+    def time_to_recovery_us(self, threshold: float = 0.9):
+        """Time from the deepest dip back to ``threshold`` × median window
+        throughput; ``None`` without a timeline or when the run ends degraded."""
+        if self.metrics.timeline is None:
+            return None
+        return self.metrics.timeline.time_to_recovery_us(threshold)
+
+    @property
+    def time_to_90pct_recovery_us(self):
+        return self.time_to_recovery_us(0.9)
+
     def summary(self) -> dict:
         data = self.metrics.summary()
         data.update(
@@ -95,6 +121,9 @@ class RunResult:
                 "abort_reasons": dict(self.abort_reasons),
             }
         )
+        if self.metrics.timeline is not None:
+            data["degradation_depth"] = self.degradation_depth
+            data["time_to_90pct_recovery_us"] = self.time_to_90pct_recovery_us
         return data
 
     def to_json_dict(self) -> dict:

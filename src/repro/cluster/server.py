@@ -20,7 +20,18 @@ from ..txn.transaction import Transaction, TxnId
 if TYPE_CHECKING:  # pragma: no cover
     from .cluster import Cluster
 
-__all__ = ["ActiveTxnRegistry", "Server"]
+__all__ = ["ActiveTxnRegistry", "Server", "follower_node_base"]
+
+
+def follower_node_base(n_partitions: int, partition_id: int) -> int:
+    """First follower node id of a partition's replication group.
+
+    Follower node ids live above the partition id space so the network
+    charges normal inter-node latency for replication traffic; the cluster's
+    topology resolution maps the same ids into regions, so the formula lives
+    here once.
+    """
+    return n_partitions + partition_id * 10
 
 
 class ActiveTxnRegistry:
@@ -69,9 +80,7 @@ class Server:
             self.env, partition_id, lock_policy,
             backend=cluster.config.storage_backend,
         )
-        # Follower node ids live above the partition id space so the network
-        # charges normal inter-node latency for replication traffic.
-        follower_base = cluster.config.n_partitions + partition_id * 10
+        follower_base = follower_node_base(cluster.config.n_partitions, partition_id)
         self.replication = ReplicationGroup(
             self.env,
             cluster.network,

@@ -95,6 +95,11 @@ class PrimoContext(TxnContext):
             if self.mode == LOCAL_MODE:
                 yield from self._switch_to_distributed()
             value = yield from self._remote_read(partition, table, key)
+        cluster = self.server.cluster
+        if cluster.stale_read_active:
+            # Mirror of the stale_read hook in TxnContext.read — this override
+            # bypasses the base class, so the fault check lives here too.
+            cluster.note_read(partition)
         if not txn.write_set:
             return value
         return self._merge_own_writes(partition, table, key, value)

@@ -59,6 +59,7 @@ __all__ = [
     "FaultPlan",
     "FaultScheduler",
     "fault",
+    "standard_storm",
 ]
 
 #: Target selector meaning "every partition of the cluster".
@@ -524,6 +525,153 @@ class ClockSkewFault:
         if skewed > server.ts_floor:
             server.ts_floor = skewed
         server.note_ts(skewed)
+
+
+# ---------------------------------------------------------------------------
+# Replication-level faults (follower-targeted; see repro.replication.raft)
+# ---------------------------------------------------------------------------
+
+@register_fault(
+    "follower_lag", params=("follower", "delay_us"),
+    description="stretch one follower's replication-ack round trip; quorum "
+                "latency shifts to the next-fastest replica",
+)
+class FollowerLagFault:
+    @staticmethod
+    def apply(cluster: "Cluster", partition_id: int, params: dict) -> None:
+        replication = cluster.servers[partition_id].replication
+        replication.set_follower_lag(int(params["follower"]), params["delay_us"])
+
+    @staticmethod
+    def revert(cluster: "Cluster", partition_id: int, params: dict) -> None:
+        replication = cluster.servers[partition_id].replication
+        replication.set_follower_lag(int(params["follower"]), 0.0)
+
+
+@register_fault(
+    "follower_crash", params=("follower",),
+    description="drop one follower out of the quorum (degrades quorum math; "
+                "recovers at the window end or via an explicit "
+                "follower_recover event)",
+)
+class FollowerCrashFault:
+    @staticmethod
+    def apply(cluster: "Cluster", partition_id: int, params: dict) -> None:
+        replication = cluster.servers[partition_id].replication
+        replication.crash_follower(int(params["follower"]))
+        cluster.counters.increment("follower_crashes_injected")
+
+    @staticmethod
+    def revert(cluster: "Cluster", partition_id: int, params: dict) -> None:
+        replication = cluster.servers[partition_id].replication
+        replication.recover_follower(int(params["follower"]))
+
+
+@register_fault(
+    "follower_recover", params=("follower",), windowed=False,
+    description="bring a crashed follower back, caught up to the leader's "
+                "durable log prefix",
+)
+class FollowerRecoverFault:
+    @staticmethod
+    def apply(cluster: "Cluster", partition_id: int, params: dict) -> None:
+        replication = cluster.servers[partition_id].replication
+        replication.recover_follower(int(params["follower"]))
+
+
+@register_fault(
+    "leader_flap", params=("cycles", "interval_us"), windowed=False,
+    requires_membership=True,
+    description="crash a partition leader repeatedly (N crash->detect->elect "
+                "cycles at a fixed interval); cycles that land while the "
+                "leader is still down are skipped",
+)
+class LeaderFlapFault:
+    """Repeated fail-over: exercises elect_new_leader under sustained load."""
+
+    @staticmethod
+    def apply(cluster: "Cluster", partition_id: int, params: dict) -> None:
+        cycles = int(params["cycles"])
+        interval_us = float(params["interval_us"])
+        if cycles < 1:
+            raise ValueError(f"leader_flap cycles must be >= 1, got {cycles}")
+        if interval_us <= 0:
+            raise ValueError(
+                f"leader_flap interval_us must be > 0, got {interval_us}"
+            )
+
+        def flapper() -> Generator:
+            for cycle in range(cycles):
+                if cycle:
+                    yield cluster.env.timeout(interval_us)
+                server = cluster.servers[partition_id]
+                if server.crashed:
+                    # The previous crash has not finished recovery yet; a real
+                    # flap cannot re-kill a dead leader, so skip this cycle.
+                    continue
+                server.crash()
+                cluster.durability.notify_crash(partition_id)
+                cluster.counters.increment("crashes_injected")
+                cluster.counters.increment("leader_flaps")
+
+        cluster.env.process(flapper(), name=f"leader-flap-p{partition_id}")
+
+
+@register_fault(
+    "stale_read", params=("fraction",),
+    description="window where the given fraction of reads observes the "
+                "pre-durable snapshot; counted in the 'stale_reads' metric "
+                "(observational: timing is unchanged)",
+)
+class StaleReadFault:
+    @staticmethod
+    def apply(cluster: "Cluster", partition_id: int, params: dict) -> None:
+        cluster.set_stale_read_fraction(partition_id, params["fraction"])
+
+    @staticmethod
+    def revert(cluster: "Cluster", partition_id: int, params: dict) -> None:
+        cluster.set_stale_read_fraction(partition_id, 0.0)
+
+
+# ---------------------------------------------------------------------------
+# The standard storm
+# ---------------------------------------------------------------------------
+
+def standard_storm(warmup_us: float, duration_us: float) -> list:
+    """The curated degradation/recovery fault plan behind the storm figure.
+
+    A fixed sequence of staggered faults scaled to the measurement window
+    (``warmup_us`` .. ``warmup_us + duration_us``): a lagging follower, a slow
+    partition, a follower crash, a double leader flap, and a stale-read
+    window.  Every event lands at a fixed fraction of the window so the same
+    storm shape stresses any scale; pair it with a fast failure detector
+    (e.g. ``heartbeat_interval_us=500, heartbeat_timeout_us=2000``) so the
+    leader flaps actually recover inside the window.  Requires >= 2
+    partitions and >= 2 replicas per partition.
+    """
+    warmup_us = float(warmup_us)
+    duration_us = float(duration_us)
+    if duration_us <= 0:
+        raise ValueError(f"standard_storm duration_us must be > 0, got {duration_us}")
+
+    def at(fraction: float) -> float:
+        return warmup_us + fraction * duration_us
+
+    def span(fraction: float) -> float:
+        return fraction * duration_us
+
+    return [
+        fault("follower_lag", at_us=at(0.05), duration_us=span(0.20),
+              target=0, follower=0, delay_us=400.0),
+        fault("slow_partition", at_us=at(0.15), duration_us=span(0.15),
+              target=1, delay_us=200.0),
+        fault("follower_crash", at_us=at(0.30), duration_us=span(0.10),
+              target=0, follower=0),
+        fault("leader_flap", at_us=at(0.45), target=1,
+              cycles=2, interval_us=span(0.10)),
+        fault("stale_read", at_us=at(0.75), duration_us=span(0.15),
+              target=ALL_PARTITIONS, fraction=0.2),
+    ]
 
 
 # ---------------------------------------------------------------------------

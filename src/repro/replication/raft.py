@@ -11,8 +11,19 @@ Each partition has a leader (the simulated server) and ``replicas_per_partition
   leader which, per §5.2, is guaranteed to have every log record up to the
   last persisted partition watermark.
 
-Followers are modelled as passive log stores rather than full servers; their
-acknowledgement latency is a network round trip from the leader.
+Followers are lightweight log stores rather than full servers, but they are
+*fault-targetable*: each :class:`ReplicaState` can lag (``extra_lag_us``
+stretches its acknowledgement round trip) or crash (``crashed`` removes it
+from the quorum until it recovers and catches up) — the ``follower_lag`` /
+``follower_crash`` / ``follower_recover`` fault kinds in :mod:`repro.faults`
+drive exactly these knobs.  Quorum latency is the *quorum-th fastest* alive
+follower's round trip (not ``followers[0]``'s), so heterogeneous links — a
+lagging follower, or a cross-region replica under a
+:class:`~repro.sim.topology.RegionTopology` — reshape durability latency the
+way a real quorum does.  With homogeneous links every round trip is equal
+and the quorum-th fastest *is* the old ``followers[0]`` value, so all
+pre-existing fixed-seed goldens are bit-identical (pinned by
+tests/replication/test_replication.py).
 """
 
 from __future__ import annotations
@@ -23,16 +34,25 @@ from typing import Generator
 from ..sim.engine import Environment, Event
 from ..sim.network import Network
 
-__all__ = ["ReplicaState", "ReplicationGroup"]
+__all__ = ["ReplicaState", "ReplicationGroup", "QUORUM_RETRY_US"]
+
+#: Fixed re-check interval while an append waits for a quorum of alive
+#: followers (all crashed-follower stalls resolve through recovery events,
+#: so a constant poll keeps the wait deterministic).
+QUORUM_RETRY_US = 1_000.0
 
 
 @dataclass
 class ReplicaState:
-    """A follower's view of the replicated log."""
+    """A follower's view of the replicated log (and its fault state)."""
 
     replica_id: int
     acked_lsn: int = 0
     log_entries: list = field(default_factory=list)
+    #: Extra acknowledgement latency injected by the ``follower_lag`` fault.
+    extra_lag_us: float = 0.0
+    #: Crashed followers ack nothing and drop out of the quorum math.
+    crashed: bool = False
 
 
 class ReplicationGroup:
@@ -69,7 +89,43 @@ class ReplicationGroup:
         # don't accumulate per follower for the whole run (acked_lsn alone
         # carries the durability state the simulation acts on).
         self.retain_entries = True
-        self.stats = {"append_rounds": 0, "entries_replicated": 0, "elections": 0}
+        self.stats = {"append_rounds": 0, "entries_replicated": 0, "elections": 0,
+                      "quorum_stalls": 0}
+
+    # -- follower fault surface ---------------------------------------------
+    def _follower(self, index: int) -> ReplicaState:
+        if not 0 <= index < len(self.followers):
+            raise ValueError(
+                f"partition {self.partition_id} has {len(self.followers)} "
+                f"follower(s); follower index {index} is out of range"
+            )
+        return self.followers[index]
+
+    def set_follower_lag(self, index: int, delay_us: float) -> None:
+        """Stretch one follower's ack round trip by ``delay_us`` (0 clears)."""
+        self._follower(index).extra_lag_us = float(delay_us)
+
+    def crash_follower(self, index: int) -> None:
+        """Drop one follower out of the quorum until it recovers."""
+        self._follower(index).crashed = True
+
+    def recover_follower(self, index: int) -> None:
+        """Bring a crashed follower back, caught up to the durable prefix."""
+        state = self._follower(index)
+        state.crashed = False
+        # Catch-up: a recovering follower replays the leader's durable log
+        # before rejoining the quorum, so it acks everything already durable.
+        state.acked_lsn = max(state.acked_lsn, self.durable_lsn)
+
+    def alive_followers(self) -> list:
+        return [state for state in self.followers if not state.crashed]
+
+    def _ack_roundtrip_us(self, state: ReplicaState) -> float:
+        """One append/ack round trip for a follower, including injected lag."""
+        return (
+            self.network.roundtrip_us(self.partition_id, state.replica_id)
+            + state.extra_lag_us
+        )
 
     # -- normal operation ----------------------------------------------------
     def replicate(self, up_to_lsn: int, entries: list) -> Generator[Event, object, int]:
@@ -86,22 +142,27 @@ class ReplicationGroup:
             return self.durable_lsn
         # Leader sends AppendEntries to all followers in parallel; durability
         # is reached when a quorum (including the leader itself) has persisted.
-        # The dominant cost is one round trip to the fastest follower plus the
-        # follower's storage write.
+        # The dominant cost is one round trip to the *quorum-th fastest* alive
+        # follower plus the follower's storage write.
         acks_needed = self.quorum_size - 1  # leader counts as one vote
-        follower = self.followers[0]
-        roundtrip = self.network.roundtrip_us(self.partition_id, follower.replica_id)
-        yield self.env.timeout(roundtrip + self.storage_persist_us)
+        alive = self.alive_followers()
+        while len(alive) < acks_needed:
+            # Too many followers down to form a quorum: durability stalls
+            # until a follower recovers (the fixed poll keeps it deterministic).
+            self.stats["quorum_stalls"] += 1
+            yield self.env.timeout(QUORUM_RETRY_US)
+            alive = self.alive_followers()
+        roundtrips = sorted(self._ack_roundtrip_us(state) for state in alive)
+        quorum_wait = roundtrips[max(acks_needed, 1) - 1]
+        yield self.env.timeout(quorum_wait + self.storage_persist_us)
         retain = self.retain_entries
-        for state in self.followers[: max(acks_needed, 1)]:
+        # Every alive follower acknowledges this append — the quorum-th
+        # fastest bounded the wait, the rest arrive off the critical path.
+        # Crashed followers miss the entries and catch up on recovery.
+        for state in alive:
             state.acked_lsn = max(state.acked_lsn, up_to_lsn)
             if retain:
                 state.log_entries.extend(entries)
-        # Remaining followers catch up asynchronously (not on the critical path).
-        for state in self.followers[max(acks_needed, 1):]:
-            if retain:
-                state.log_entries.extend(entries)
-            state.acked_lsn = max(state.acked_lsn, up_to_lsn)
         self.durable_lsn = max(self.durable_lsn, up_to_lsn)
         return self.durable_lsn
 
@@ -112,11 +173,22 @@ class ReplicationGroup:
     def elect_new_leader(self) -> Generator[Event, object, int]:
         """Run a (simplified) election; returns the new term.
 
-        The election costs one round trip among the replicas plus a small
-        randomised-timeout allowance, matching Raft's expected fail-over time.
+        The election needs a vote round trip to every reachable follower plus
+        a persisted term bump, so its cost is two round trips to the
+        *slowest* live follower — derived from the network's actual per-link
+        latency (injected delays, region matrices), not the scalar default.
+        With homogeneous fault-free links this is exactly the historical
+        ``4 × one_way + persist``.
         """
         self.stats["elections"] += 1
-        election_delay = self.network.one_way_latency_us * 4 + self.storage_persist_us
+        pool = self.alive_followers() or self.followers
+        if not pool:
+            # Single-replica group: no votes to gather, just the term persist
+            # plus the historical fixed allowance.
+            election_delay = self.network.one_way_latency_us * 4 + self.storage_persist_us
+        else:
+            slowest = max(self._ack_roundtrip_us(state) for state in pool)
+            election_delay = 2.0 * slowest + self.storage_persist_us
         yield self.env.timeout(election_delay)
         self.term += 1
         self.leader_alive = True

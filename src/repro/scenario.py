@@ -52,6 +52,7 @@ from .registry import (
     suggestion_hint,
 )
 from .scales import SCALES, BenchScale, resolve_scale
+from .sim.topology import RegionTopology
 from .workloads.base import Workload
 from .workloads.mixed import normalize_components
 
@@ -145,6 +146,11 @@ class ScenarioSpec:
     #: offered-load sweep point.  Omitted from the JSON form when ``None`` so
     #: legacy scenarios keep their orchestrator cache keys.
     arrival: Optional[ArrivalSpec] = None
+    #: Geo-aware latency topology (:class:`~repro.sim.topology.RegionTopology`
+    #: or its JSON dict form).  ``None`` is the historical flat network; like
+    #: ``arrival`` it is omitted from the JSON form when ``None`` so
+    #: pre-topology scenarios keep their orchestrator cache keys.
+    topology: Optional[RegionTopology] = None
     #: Legacy shim — (partition_id, delay_us); compiles to a zero-time
     #: ``message_delay`` fault event (Fig. 13a's lagging control messages).
     durability_message_delay: Optional[tuple] = None
@@ -215,6 +221,7 @@ class ScenarioSpec:
             )
         set_field("faults", FaultPlan.coerce(self.faults))
         set_field("arrival", ArrivalSpec.coerce(self.arrival))
+        set_field("topology", RegionTopology.coerce(self.topology))
         if self.arrival is not None and self.arrival.component_rates:
             # Validated here rather than in ArrivalSpec because only the
             # scenario sees both the rates and the mix they must name.
@@ -276,6 +283,10 @@ class ScenarioSpec:
             # Omitted when None (the closed loop) so pre-arrival scenarios
             # serialize — and cache-key — exactly as they always did.
             data["arrival"] = self.arrival.to_json_dict()
+        if self.topology is not None:
+            # Same omit-when-None convention as ``arrival``, for the same
+            # cache-key stability reason.
+            data["topology"] = self.topology.to_json_dict()
         return data
 
     @classmethod
@@ -524,7 +535,8 @@ def build(spec: ScenarioSpec) -> Cluster:
         # Legacy knobs apply before the plan's own zero-time events, matching
         # the pre-plan application point (right after cluster construction).
         plan = FaultPlan(events=tuple(shimmed)).extend(plan.events)
-    return Cluster(config, workload, faults=plan, arrival=spec.arrival)
+    return Cluster(config, workload, faults=plan, arrival=spec.arrival,
+                   topology=spec.topology)
 
 
 def run(spec: ScenarioSpec) -> RunResult:

@@ -32,7 +32,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from heapq import heappush
 from types import BuiltinFunctionType, GeneratorType, MethodWrapperType
-from typing import Any, Callable, Generator
+from typing import Any, Callable, Generator, Optional
 
 # Callables implemented in C: no code object, cannot be generator functions.
 _C_CALLABLE_TYPES = (BuiltinFunctionType, MethodWrapperType)
@@ -128,7 +128,7 @@ def _dispatch_one_way_send(op: "_OneWaySend") -> None:
         op._in_flight = True
         src = op._src
         dst = op._dst
-        if network._faults_active:
+        if network._faults_active or network._topology is not None:
             delay = network.latency(src, dst)
         elif src == dst:
             delay = network.local_latency_us
@@ -178,6 +178,11 @@ class Network:
         # True iff any injection above is configured; the latency fast path
         # keys off this single flag.
         self._faults_active = False
+        # Optional geo topology (install_topology): node id -> region index
+        # plus the region×region one-way latency matrix.  ``None`` keeps the
+        # scalar fast path bit-identical.
+        self._topology: Optional[tuple] = None
+        self._node_region: dict[int, int] = {}
         # handler code object -> returns-a-generator flag (see
         # _handler_returns_generator); bounded by the number of def sites.
         self._gen_handlers: dict = {}
@@ -219,12 +224,41 @@ class Network:
     def is_unreachable(self, node_id: int) -> bool:
         return node_id in self._unreachable
 
+    # -- geo topology -----------------------------------------------------
+    def install_topology(self, node_region: dict, latency_matrix) -> None:
+        """Replace the scalar base latency with a region-matrix lookup.
+
+        ``node_region`` maps node ids to region indices into
+        ``latency_matrix`` (rows/columns in region order).  Nodes absent from
+        the map fall back to the scalar one-way latency; the same-node case
+        always stays local.  Injected fault delays stack on top of the
+        topology base, exactly as they stack on the scalar base.
+        """
+        self._node_region = dict(node_region)
+        self._topology = tuple(tuple(float(v) for v in row) for row in latency_matrix)
+
+    def _topology_latency(self, src: int, dst: int) -> float:
+        """Base one-way latency under the installed region matrix."""
+        if src == dst:
+            return self.local_latency_us
+        node_region = self._node_region
+        src_region = node_region.get(src)
+        dst_region = node_region.get(dst)
+        if src_region is None or dst_region is None:
+            return self.one_way_latency_us
+        return self._topology[src_region][dst_region]
+
     # -- latency model ---------------------------------------------------
     def latency(self, src: int, dst: int) -> float:
         """One-way latency from ``src`` to ``dst`` including injected delays."""
         if not self._faults_active:
-            return self.local_latency_us if src == dst else self.one_way_latency_us
-        base = self.local_latency_us if src == dst else self.one_way_latency_us
+            if self._topology is None:
+                return self.local_latency_us if src == dst else self.one_way_latency_us
+            return self._topology_latency(src, dst)
+        if self._topology is None:
+            base = self.local_latency_us if src == dst else self.one_way_latency_us
+        else:
+            base = self._topology_latency(src, dst)
         return (
             base
             + self._extra_delay_from.get(src, 0.0)

@@ -32,6 +32,7 @@ arbitrary completion order); ``tests/sim/test_stats.py`` pins that property.
 from __future__ import annotations
 
 from array import array
+from statistics import median
 from typing import Iterable
 
 from .sketch import LatencySketch
@@ -41,6 +42,7 @@ __all__ = [
     "LatencyRecorder",
     "BreakdownTimer",
     "RunMetrics",
+    "WindowedRecorder",
     "BREAKDOWN_COMPONENTS",
     "SKETCH_THRESHOLD",
 ]
@@ -325,6 +327,229 @@ class BreakdownTimer:
         return timer
 
 
+class WindowedRecorder:
+    """Time-sliced throughput/latency: fixed-width windows, bounded memory.
+
+    The degradation/recovery instrumentation behind the "standard storm"
+    figure: commits are bucketed into fixed-width time windows (per-window
+    count + latency sum), so a run's throughput time series — the dip when a
+    fault lands and the climb back after recovery — survives into the
+    :class:`RunMetrics` JSON round trip.
+
+    Memory is bounded: when a recording would exceed ``max_windows`` windows,
+    the window width *doubles* (adjacent windows merge pairwise), so an
+    arbitrarily long run costs O(``max_windows``) floats at correspondingly
+    coarser resolution.  No totals are ever dropped.
+
+    Analysis accessors (used by :class:`~repro.cluster.results.RunResult`):
+
+    * :meth:`degradation_depth` — ``1 - min_window / median_window`` over the
+      completed windows, i.e. how deep the worst dip cut relative to the
+      run's typical throughput (0.0 = no dip, 1.0 = a full stall);
+    * :meth:`time_to_recovery_us` — time from the worst window to the first
+      later window back at ``threshold`` × the median (``None`` = never
+      recovered within the run).
+    """
+
+    __slots__ = ("window_us", "origin_us", "max_windows", "_counts",
+                 "_latency_counts", "_latency_sums")
+
+    def __init__(self, window_us: float = 1_000.0, origin_us: float = 0.0,
+                 max_windows: int = 512):
+        if window_us <= 0:
+            raise ValueError(f"window_us must be > 0, got {window_us}")
+        if max_windows < 2:
+            raise ValueError(f"max_windows must be >= 2, got {max_windows}")
+        self.window_us = float(window_us)
+        self.origin_us = float(origin_us)
+        self.max_windows = int(max_windows)
+        self._counts: list[int] = []
+        # Latency is tracked separately from the throughput counts: under
+        # group-commit durability a committed transaction's latency is only
+        # known when the batch resolves, and a crash can leave commits whose
+        # durability never resolves within the run — the throughput series
+        # must not lose those windows.
+        self._latency_counts: list[int] = []
+        self._latency_sums: list[float] = []
+
+    def _coarsen(self) -> None:
+        """Double the window width, merging adjacent windows pairwise."""
+        merged = []
+        for series, pad in ((self._counts, 0), (self._latency_counts, 0),
+                            (self._latency_sums, 0.0)):
+            if len(series) % 2:
+                series.append(pad)
+            merged.append(
+                [series[i] + series[i + 1] for i in range(0, len(series), 2)]
+            )
+        self._counts, self._latency_counts, self._latency_sums = merged
+        self.window_us *= 2.0
+
+    def _index_for(self, time_us: float) -> int:
+        """Window index for a timestamp, coarsening to stay within bounds."""
+        index = int((time_us - self.origin_us) / self.window_us)
+        if index < 0:
+            index = 0
+        while index >= self.max_windows:
+            self._coarsen()
+            index = int((time_us - self.origin_us) / self.window_us)
+        counts = self._counts
+        if index >= len(counts):
+            grow = index + 1 - len(counts)
+            counts.extend([0] * grow)
+            self._latency_counts.extend([0] * grow)
+            self._latency_sums.extend([0.0] * grow)
+        return index
+
+    def record(self, time_us: float) -> None:
+        """Count one completion (a commit) in the window of ``time_us``."""
+        # Resolve the index *before* touching the list: _index_for may
+        # coarsen, which rebinds the series to freshly merged lists.
+        index = self._index_for(time_us)
+        self._counts[index] += 1
+
+    def unrecord(self, time_us: float) -> None:
+        """Undo one :meth:`record` (a counted commit rolled back by a crash)."""
+        index = self._index_for(time_us)
+        self._counts[index] -= 1
+
+    def record_latency(self, time_us: float, latency_us: float) -> None:
+        """Attribute one resolved end-to-end latency to ``time_us``'s window."""
+        index = self._index_for(time_us)
+        self._latency_counts[index] += 1
+        self._latency_sums[index] += latency_us
+
+    # -- series accessors --------------------------------------------------
+    @property
+    def windows(self) -> int:
+        return len(self._counts)
+
+    @property
+    def total_count(self) -> int:
+        return sum(self._counts)
+
+    def counts(self) -> list[int]:
+        return list(self._counts)
+
+    def throughput_tps(self) -> list[float]:
+        scale = 1_000_000.0 / self.window_us
+        return [count * scale for count in self._counts]
+
+    def mean_latency_us(self) -> list[float]:
+        return [
+            (total / count) if count else 0.0
+            for count, total in zip(self._latency_counts, self._latency_sums)
+        ]
+
+    # -- recovery analysis -------------------------------------------------
+    def _completed_counts(self) -> list[int]:
+        """Windows up to the last one that saw traffic (the final window is a
+        partial slice of the post-measurement drain; trailing silence after
+        it is not a 'dip', it is the end of the run)."""
+        counts = self._counts
+        end = len(counts)
+        while end > 0 and counts[end - 1] == 0:
+            end -= 1
+        return counts[:end]
+
+    def degradation_depth(self) -> float:
+        """``1 - min/median`` over completed windows, clamped to [0, 1]."""
+        counts = self._completed_counts()
+        if len(counts) < 2:
+            return 0.0
+        baseline = median(counts)
+        if baseline <= 0:
+            return 0.0
+        return min(1.0, max(0.0, 1.0 - min(counts) / baseline))
+
+    def time_to_recovery_us(self, threshold: float = 0.9) -> "float | None":
+        """Time from the worst window back to ``threshold`` × the median.
+
+        0.0 when the run never dipped below the threshold; ``None`` when it
+        dipped and never came back within the recorded windows.
+        """
+        counts = self._completed_counts()
+        if len(counts) < 2:
+            return 0.0
+        baseline = median(counts)
+        if baseline <= 0:
+            return 0.0
+        bar = threshold * baseline
+        trough = counts.index(min(counts))
+        if counts[trough] >= bar:
+            return 0.0
+        for index in range(trough + 1, len(counts)):
+            if counts[index] >= bar:
+                return (index - trough) * self.window_us
+        return None
+
+    # -- merge / JSON round trip --------------------------------------------
+    def merge(self, other: "WindowedRecorder") -> None:
+        """Fold another recorder in (same origin; widths that diverged only by
+        the power-of-two coarsening are re-aligned by coarsening the finer)."""
+        if other.origin_us != self.origin_us:
+            raise ValueError(
+                f"cannot merge recorders with different origins "
+                f"({self.origin_us} vs {other.origin_us})"
+            )
+        wide, narrow = (self, other) if self.window_us >= other.window_us else (other, self)
+        ratio = wide.window_us / narrow.window_us
+        if ratio != int(ratio) or (int(ratio) & (int(ratio) - 1)):
+            if ratio != 1.0:
+                raise ValueError(
+                    f"cannot merge recorders with incompatible widths "
+                    f"({self.window_us} vs {other.window_us})"
+                )
+        while self.window_us < other.window_us:
+            self._coarsen()
+        source = other
+        if other.window_us < self.window_us:
+            clone = WindowedRecorder.from_json_dict(other.to_json_dict())
+            while clone.window_us < self.window_us:
+                clone._coarsen()
+            source = clone
+        counts = self._counts
+        latency_counts = self._latency_counts
+        sums = self._latency_sums
+        if len(source._counts) > len(counts):
+            grow = len(source._counts) - len(counts)
+            counts.extend([0] * grow)
+            latency_counts.extend([0] * grow)
+            sums.extend([0.0] * grow)
+        for index, count in enumerate(source._counts):
+            counts[index] += count
+            latency_counts[index] += source._latency_counts[index]
+            sums[index] += source._latency_sums[index]
+
+    def to_json_dict(self) -> dict:
+        return {
+            "window_us": self.window_us,
+            "origin_us": self.origin_us,
+            "max_windows": self.max_windows,
+            "counts": list(self._counts),
+            "latency_counts": list(self._latency_counts),
+            "latency_sums": list(self._latency_sums),
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "WindowedRecorder":
+        recorder = cls(
+            window_us=float(data["window_us"]),
+            origin_us=float(data.get("origin_us", 0.0)),
+            max_windows=int(data.get("max_windows", 512)),
+        )
+        recorder._counts = [int(v) for v in data.get("counts", ())]
+        recorder._latency_counts = [int(v) for v in data.get("latency_counts", ())]
+        recorder._latency_sums = [float(v) for v in data.get("latency_sums", ())]
+        # The three series are kept index-aligned everywhere; repair documents
+        # that carried fewer latency windows than count windows.
+        for series, pad in ((recorder._latency_counts, 0),
+                            (recorder._latency_sums, 0.0)):
+            if len(series) < len(recorder._counts):
+                series.extend([pad] * (len(recorder._counts) - len(series)))
+        return recorder
+
+
 class RunMetrics:
     """Everything a single simulated run reports back to the harness."""
 
@@ -336,6 +561,7 @@ class RunMetrics:
         "counters",
         "latency",
         "breakdown",
+        "timeline",
     )
 
     def __init__(
@@ -347,6 +573,7 @@ class RunMetrics:
         counters: Counter | None = None,
         latency: LatencyRecorder | None = None,
         breakdown: BreakdownTimer | None = None,
+        timeline: WindowedRecorder | None = None,
     ):
         self.duration_us = duration_us
         self.committed = committed
@@ -355,6 +582,10 @@ class RunMetrics:
         self.counters = counters if counters is not None else Counter()
         self.latency = latency if latency is not None else LatencyRecorder()
         self.breakdown = breakdown if breakdown is not None else BreakdownTimer()
+        # Optional windowed throughput/latency time series; only fault-plan
+        # runs record one (see Cluster), so fault-free result documents are
+        # byte-identical to their pre-timeline form.
+        self.timeline = timeline
 
     @property
     def throughput_tps(self) -> float:
@@ -433,6 +664,8 @@ class RunMetrics:
             data["latency_sketch"] = self.latency.sketch.to_json_dict()
         else:
             data["latency_samples"] = self.latency.samples
+        if self.timeline is not None:
+            data["timeline"] = self.timeline.to_json_dict()
         return data
 
     @classmethod
@@ -444,6 +677,7 @@ class RunMetrics:
             )
         else:
             latency = LatencyRecorder.from_samples(data.get("latency_samples", []))
+        timeline_doc = data.get("timeline")
         return cls(
             duration_us=float(data["duration_us"]),
             committed=int(data["committed"]),
@@ -452,4 +686,6 @@ class RunMetrics:
             counters=Counter.from_dict(data.get("counters", {})),
             latency=latency,
             breakdown=BreakdownTimer.from_json_dict(data.get("breakdown", {})),
+            timeline=(WindowedRecorder.from_json_dict(timeline_doc)
+                      if timeline_doc is not None else None),
         )

@@ -53,6 +53,11 @@ class TxnContext:
     def read(self, partition: int, table: str, key) -> Generator:
         """Read a record; returns its value dictionary (a private copy)."""
         value = yield from self._protocol_read(partition, table, key)
+        cluster = self.server.cluster
+        if cluster.stale_read_active:
+            # A stale_read fault window is open: this read may observe the
+            # pre-durable snapshot (counted, protocol-independent).
+            cluster.note_read(partition)
         return self._merge_own_writes(partition, table, key, value)
 
     def update(self, partition: int, table: str, key, updates: dict) -> Generator:

@@ -387,3 +387,93 @@ def test_faulted_spec_is_identical_across_run_orchestrator_and_cli(tmp_path, cap
     assert entry["result"]["committed"] == direct.committed
     assert entry["result"]["aborted"] == direct.aborted
     assert ScenarioSpec.from_json_dict(entry["spec"]) == spec
+
+
+# ---------------------------------------------------------------------------
+# Replication-layer fault kinds and the standard storm
+# ---------------------------------------------------------------------------
+
+def test_replication_fault_kinds_are_registered():
+    registered = set(FAULT_REGISTRY.names())
+    assert {"follower_lag", "follower_crash", "follower_recover",
+            "leader_flap", "stale_read"} <= registered
+
+
+def test_follower_faults_validate_parameters_eagerly():
+    with pytest.raises(ValueError, match="missing parameter"):
+        fault("follower_lag", target=0, follower=0)  # no delay_us
+    with pytest.raises(ValueError, match="missing parameter"):
+        fault("follower_crash", target=0)  # no follower
+    with pytest.raises(ValueError, match="unknown parameter"):
+        fault("stale_read", target=0, fraction=0.1, follower=0)
+
+
+def test_leader_flap_rejects_a_duration_window():
+    # The flap schedules its own crash/recover cycles; a revert window on top
+    # would be meaningless, so it is rejected eagerly like `crash`'s.
+    with pytest.raises(ValueError, match="does not take a duration_us"):
+        fault("leader_flap", at_us=1_000.0, duration_us=5_000.0, target=0,
+              cycles=2, interval_us=2_000.0)
+
+
+def test_follower_index_out_of_range_fails_at_start():
+    spec = ScenarioSpec(
+        protocol="primo", scale="tiny",
+        config_overrides={"replicas_per_partition": 3},
+        faults=[fault("follower_lag", target=0, follower=7, delay_us=100.0)])
+    cluster = repro.build(spec)
+    with pytest.raises(ValueError, match="follower index 7 is out of range"):
+        cluster.start()
+
+
+def test_stale_read_fraction_is_validated_at_start():
+    spec = ScenarioSpec(
+        protocol="primo", scale="tiny",
+        faults=[fault("stale_read", target=0, fraction=1.5)])
+    cluster = repro.build(spec)
+    with pytest.raises(ValueError, match="fraction"):
+        cluster.start()
+
+
+def test_leader_flap_parameters_are_validated_at_start():
+    for params in ({"cycles": 0, "interval_us": 1_000.0},
+                   {"cycles": 2, "interval_us": 0.0}):
+        spec = ScenarioSpec(protocol="primo", scale="tiny",
+                            faults=[fault("leader_flap", target=0, **params)])
+        cluster = repro.build(spec)
+        with pytest.raises(ValueError):
+            cluster.start()
+
+
+def test_standard_storm_factory_builds_a_valid_plan():
+    events = repro.standard_storm(2_000.0, 60_000.0)
+    assert [event.kind for event in events] == [
+        "follower_lag", "slow_partition", "follower_crash", "leader_flap",
+        "stale_read"]
+    # The whole storm fits inside the measurement window.
+    for event in events:
+        assert event.at_us >= 2_000.0
+        end = event.at_us + (event.duration_us or 0.0)
+        assert end <= 62_000.0
+    # It is directly usable as a spec's fault plan.
+    plan = FaultPlan(events=tuple(events))
+    spec = ScenarioSpec(protocol="primo", scale="tiny", faults=plan)
+    assert spec.faults == plan
+    with pytest.raises(ValueError, match="duration_us"):
+        repro.standard_storm(0.0, 0.0)
+
+
+def test_fault_plan_runs_record_a_timeline_and_fault_free_runs_do_not():
+    faulted = repro.run(ScenarioSpec(
+        protocol="primo", scale="tiny",
+        faults=[fault("slow_partition", at_us=3_000.0, duration_us=2_000.0,
+                      target=0, delay_us=100.0)]))
+    assert faulted.timeline is not None
+    assert faulted.timeline.total_count == faulted.committed
+    assert faulted.degradation_depth is not None
+    assert "degradation_depth" in faulted.summary()
+    clean = repro.run(ScenarioSpec(protocol="primo", scale="tiny"))
+    assert clean.timeline is None
+    assert clean.degradation_depth is None
+    assert clean.time_to_90pct_recovery_us is None
+    assert "degradation_depth" not in clean.summary()

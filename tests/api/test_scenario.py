@@ -287,3 +287,33 @@ def test_scale_defaults_size_tatp_and_smallbank():
             assert getattr(workload.config, config_field) == getattr(scale, attr)
             sizes.add(getattr(workload.config, config_field))
         assert len(sizes) > 1, f"{name} population does not scale"
+
+
+def test_topology_axis_round_trips_and_stays_out_of_bare_specs():
+    topology = {
+        "regions": ["east", "west"],
+        "latency_us": [[5.0, 80.0], [80.0, 5.0]],
+        "partition_regions": ["east", "west"],
+    }
+    spec = ScenarioSpec(protocol="primo", scale="tiny", topology=topology)
+    assert isinstance(spec.topology, repro.RegionTopology)
+    assert ScenarioSpec.from_json(spec.to_json()) == spec
+    # Specs without a topology keep the key out of the JSON entirely, so the
+    # orchestrator cache keys of every pre-topology spec are unchanged.
+    bare = ScenarioSpec(protocol="primo", scale="tiny")
+    assert bare.topology is None
+    assert "topology" not in bare.to_json_dict()
+    assert spec.canonical_json() != bare.canonical_json()
+
+
+def test_topology_spec_builds_a_geo_cluster():
+    spec = ScenarioSpec(
+        protocol="primo", scale="tiny",
+        topology={
+            "regions": ["east", "west"],
+            "latency_us": [[5.0, 120.0], [120.0, 5.0]],
+            "partition_regions": ["east", "west"],
+        })
+    cluster = repro.build(spec)
+    # Cross-region leaders pay the matrix entry; the scalar default is gone.
+    assert cluster.network.latency(0, 1) == 120.0

@@ -12,7 +12,7 @@ TEST_SCALE = TINY_SCALE
 
 
 def test_all_figures_are_registered():
-    expected = {f"fig{i:02d}" for i in range(4, 16)} | {"appendix", "openloop"}
+    expected = {f"fig{i:02d}" for i in range(4, 16)} | {"appendix", "openloop", "storm"}
     assert set(ALL_EXPERIMENTS) == expected
     # SCALES is a live view of the scale registry; the built-in presets
     # (including the test-oriented "tiny") are always present.

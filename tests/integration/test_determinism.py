@@ -114,3 +114,103 @@ def test_seed_changes_the_outcome():
         reseeded.metrics.committed,
         reseeded.metrics.aborted,
     )
+
+
+# Replication-layer fault kinds and geo topologies over the same tiny primo
+# configuration: scenario -> (committed, aborted, crash_aborted, final time).
+# ``replicas_per_partition=2`` leaves a single follower per partition, so the
+# follower faults sit on the quorum critical path instead of hiding behind a
+# faster sibling.  Counter expectations pin that each fault actually fired.
+REPLICATION_FAULT_GOLDEN = {
+    "follower_lag": (450, 43, 0, 23_000.0),
+    "follower_crash": (415, 44, 0, 23_000.0),
+    "leader_flap": (271, 33, 0, 23_000.0),
+    "stale_read": (420, 43, 0, 23_000.0),
+}
+
+GEO_GOLDEN = (263, 27, 0, 23_000.0)
+
+
+def _replication_fault_cluster(kind):
+    from repro.faults import FaultPlan, fault
+
+    if kind == "follower_lag":
+        plan = FaultPlan(events=(
+            fault("follower_lag", at_us=3_000.0, duration_us=6_000.0,
+                  target=0, follower=0, delay_us=400.0),
+        ))
+        return Cluster(tiny_config("primo", replicas_per_partition=2),
+                       tiny_ycsb(), faults=plan)
+    if kind == "follower_crash":
+        # A windowed crash on partition 0 plus a crash on partition 1 whose
+        # stall is cut short by an explicit follower_recover at 8 ms.
+        plan = FaultPlan(events=(
+            fault("follower_crash", at_us=3_000.0, duration_us=4_000.0,
+                  target=0, follower=0),
+            fault("follower_crash", at_us=4_000.0, duration_us=8_000.0,
+                  target=1, follower=0),
+            fault("follower_recover", at_us=8_000.0, target=1, follower=0),
+        ))
+        return Cluster(tiny_config("primo", replicas_per_partition=2),
+                       tiny_ycsb(), faults=plan)
+    if kind == "leader_flap":
+        plan = FaultPlan(events=(
+            fault("leader_flap", at_us=3_000.0, target=1,
+                  cycles=2, interval_us=5_000.0),
+        ))
+        return Cluster(
+            tiny_config("primo", heartbeat_interval_us=500.0,
+                        heartbeat_timeout_us=2_000.0),
+            tiny_ycsb(), faults=plan)
+    assert kind == "stale_read"
+    from repro.faults import ALL_PARTITIONS
+
+    plan = FaultPlan(events=(
+        fault("stale_read", at_us=3_000.0, duration_us=8_000.0,
+              target=ALL_PARTITIONS, fraction=0.3),
+    ))
+    return Cluster(tiny_config("primo"), tiny_ycsb(), faults=plan)
+
+
+@pytest.mark.parametrize("kind", sorted(REPLICATION_FAULT_GOLDEN))
+def test_fixed_seed_replication_fault_runs_match_golden_counts(kind):
+    cluster = _replication_fault_cluster(kind)
+    result = cluster.run()
+    committed, aborted, crash_aborted, final_now = REPLICATION_FAULT_GOLDEN[kind]
+    assert result.metrics.committed == committed
+    assert result.metrics.aborted == aborted
+    assert result.metrics.crash_aborted == crash_aborted
+    assert cluster.env.now == final_now
+    counters = result.metrics.counters
+    if kind == "follower_crash":
+        assert counters.get("follower_crashes_injected") == 2
+    elif kind == "leader_flap":
+        assert counters.get("leader_flaps") == 2
+        assert counters.get("crashes_injected") == 2
+        assert counters.get("recoveries_completed") == 2
+    elif kind == "stale_read":
+        assert counters.get("stale_reads") == 662
+    # Fault-plan runs carry the degradation timeline; its totals track the
+    # surviving (non-crash-aborted) commits exactly.
+    assert result.timeline is not None
+    assert result.timeline.total_count == committed
+
+
+def test_fixed_seed_geo_topology_run_matches_golden_counts():
+    from repro.sim.topology import RegionTopology
+
+    topology = RegionTopology(
+        regions=("east", "west"),
+        latency_us=((5.0, 120.0), (120.0, 5.0)),
+        partition_regions=("east", "west"),
+        follower_regions=(("east", "west"),),
+    )
+    cluster = Cluster(tiny_config("primo"), tiny_ycsb(), topology=topology)
+    result = cluster.run()
+    assert (result.metrics.committed, result.metrics.aborted,
+            result.metrics.crash_aborted, cluster.env.now) == GEO_GOLDEN
+    # Topology changes the simulated timing, so the counts must differ from
+    # the scalar-latency golden (which pins the no-topology fast path).
+    assert (result.metrics.committed, result.metrics.aborted) != GOLDEN["primo"][:2]
+    # Fault-free runs — topology or not — record no timeline.
+    assert result.timeline is None

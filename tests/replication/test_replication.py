@@ -119,3 +119,117 @@ def test_watermark_agreement_uses_the_maximum_published_value():
     next_term = service.new_recovery_term()
     assert next_term == term + 1
     assert service.agreed_global_watermark(next_term) is None
+
+
+# -- follower fault surface and quorum-th-fastest timing ---------------------
+
+def test_equal_links_quorum_wait_matches_single_roundtrip():
+    # Bit-identity pin for the quorum-th-fastest rewrite: with homogeneous
+    # links every follower round trip is identical, so picking the quorum-th
+    # fastest is indistinguishable from the historical "first follower" wait.
+    env, group = make_group(5)
+    start = env.now
+    drive(env, group.replicate(1, ["a"]))
+    assert env.now - start == pytest.approx(2 * 50.0 + 20.0)
+
+
+def test_follower_lag_shifts_quorum_to_the_next_fastest_follower():
+    env, group = make_group(3)  # quorum 2: leader + 1 follower ack
+    group.set_follower_lag(0, 1_000.0)
+    start = env.now
+    drive(env, group.replicate(1, ["a"]))
+    # The unlagged follower bounds the quorum: plain round trip + persist.
+    assert env.now - start == pytest.approx(2 * 50.0 + 20.0)
+    # Lag both followers and the quorum must eat the injected delay.
+    group.set_follower_lag(1, 1_000.0)
+    start = env.now
+    drive(env, group.replicate(2, ["b"]))
+    assert env.now - start == pytest.approx(2 * 50.0 + 1_000.0 + 20.0)
+    # Clearing the lag restores the fast path.
+    group.set_follower_lag(0, 0.0)
+    start = env.now
+    drive(env, group.replicate(3, ["c"]))
+    assert env.now - start == pytest.approx(2 * 50.0 + 20.0)
+
+
+def test_heterogeneous_links_reshape_the_quorum_wait():
+    env = Environment()
+    network = Network(env, one_way_latency_us=50.0)
+    group = ReplicationGroup(env, network, 0, 3, 100, storage_persist_us=20.0)
+    # Second follower sits behind a slow (geo-distant) link.
+    network.set_extra_delay_to(101, 400.0)
+    start = env.now
+    drive(env, group.replicate(1, ["a"]))
+    # Quorum needs one follower ack and the fast link provides it.
+    assert env.now - start == pytest.approx(2 * 50.0 + 20.0)
+
+
+def test_crashed_follower_misses_entries_and_catches_up_on_recovery():
+    env, group = make_group(3)
+    group.crash_follower(0)
+    drive(env, group.replicate(4, ["a"]))
+    assert group.durable_lsn == 4
+    assert group.followers[0].acked_lsn == 0  # crashed: acked nothing
+    assert group.followers[1].acked_lsn == 4
+    group.recover_follower(0)
+    # Recovery replays the durable prefix before rejoining the quorum.
+    assert group.followers[0].acked_lsn == 4
+    assert not group.followers[0].crashed
+
+
+def test_quorum_stalls_until_a_follower_recovers():
+    env, group = make_group(3)
+    group.crash_follower(0)
+    group.crash_follower(1)
+
+    def recover_later():
+        yield env.timeout(2_500.0)
+        group.recover_follower(0)
+
+    env.process(recover_later())
+    start = env.now
+    drive(env, group.replicate(1, ["a"]))
+    # Durability stalled (deterministic 1 ms polls) until the recovery at
+    # 2.5 ms, then completed one normal round.
+    assert group.stats["quorum_stalls"] >= 2
+    assert env.now - start >= 2_500.0
+    assert group.durable_lsn == 1
+
+
+def test_follower_index_out_of_range_is_rejected():
+    _, group = make_group(3)  # 2 followers
+    with pytest.raises(ValueError, match="out of range"):
+        group.set_follower_lag(2, 100.0)
+    with pytest.raises(ValueError, match="out of range"):
+        group.crash_follower(-1)
+
+
+def test_election_cost_derives_from_network_roundtrip():
+    env, group = make_group(3)
+    start = env.now
+    drive(env, group.elect_new_leader())
+    # Homogeneous links: exactly the historical 4 x one_way + persist.
+    assert env.now - start == pytest.approx(4 * 50.0 + 20.0)
+
+
+def test_election_cost_tracks_the_slowest_live_follower():
+    env = Environment()
+    network = Network(env, one_way_latency_us=50.0)
+    group = ReplicationGroup(env, network, 0, 3, 100, storage_persist_us=20.0)
+    network.set_extra_delay_to(101, 400.0)
+    start = env.now
+    drive(env, group.elect_new_leader())
+    # Vote round trips reach every follower; the slow link dominates.
+    assert env.now - start == pytest.approx(2 * (2 * 50.0 + 400.0) + 20.0)
+    # With the slow follower crashed the election only waits on live voters.
+    group.crash_follower(1)
+    start = env.now
+    drive(env, group.elect_new_leader())
+    assert env.now - start == pytest.approx(2 * (2 * 50.0) + 20.0)
+
+
+def test_single_replica_election_keeps_the_fixed_allowance():
+    env, group = make_group(1)
+    start = env.now
+    drive(env, group.elect_new_leader())
+    assert env.now - start == pytest.approx(4 * 50.0 + 20.0)

@@ -239,3 +239,209 @@ def test_breakdown_json_round_trip_preserves_custom_components():
     assert clone.total("execute") == 3.0
     assert clone.total("my_extension_phase") == 2.0
     assert clone.per_transaction()["execute"] == 3.0
+
+
+# -- windowed degradation/recovery timeline ----------------------------------
+
+def test_windowed_recorder_buckets_by_window():
+    from repro.sim.stats import WindowedRecorder
+
+    rec = WindowedRecorder(window_us=100.0, origin_us=1_000.0)
+    for t in (1_000.0, 1_050.0, 1_150.0, 1_399.0):
+        rec.record(t)
+    assert rec.counts() == [2, 1, 0, 1]
+    assert rec.total_count == 4
+    assert rec.throughput_tps() == [20_000.0, 10_000.0, 0.0, 10_000.0]
+    # Times before the origin clamp into the first window instead of crashing.
+    rec.record(500.0)
+    assert rec.counts()[0] == 3
+
+
+def test_windowed_recorder_unrecord_undoes_a_count():
+    from repro.sim.stats import WindowedRecorder
+
+    rec = WindowedRecorder(window_us=100.0)
+    rec.record(50.0)
+    rec.record(150.0)
+    rec.unrecord(150.0)
+    assert rec.counts() == [1, 0]
+
+
+def test_windowed_recorder_latency_series_is_independent_of_counts():
+    from repro.sim.stats import WindowedRecorder
+
+    rec = WindowedRecorder(window_us=100.0)
+    rec.record(10.0)
+    rec.record(110.0)  # commit whose durability never resolves: no latency
+    rec.record_latency(10.0, 200.0)
+    rec.record_latency(20.0, 400.0)
+    assert rec.counts() == [1, 1]
+    assert rec.mean_latency_us() == [300.0, 0.0]
+
+
+def test_windowed_recorder_memory_is_bounded_by_coarsening():
+    from repro.sim.stats import WindowedRecorder
+
+    rec = WindowedRecorder(window_us=1.0, max_windows=8)
+    for t in range(64):
+        rec.record(float(t))
+    # 64 µs of traffic through 8 windows: width doubled 1 -> 8.
+    assert rec.windows <= 8
+    assert rec.window_us == 8.0
+    assert rec.total_count == 64
+    assert rec.counts() == [8] * 8
+
+
+def test_windowed_recorder_coarsening_preserves_latency_totals():
+    from repro.sim.stats import WindowedRecorder
+
+    rec = WindowedRecorder(window_us=1.0, max_windows=4)
+    for t in range(16):
+        rec.record_latency(float(t), 10.0)
+    assert sum(rec._latency_sums) == pytest.approx(160.0)
+    assert rec.mean_latency_us() == [10.0] * rec.windows
+
+
+def test_windowed_recorder_degradation_depth_and_recovery_time():
+    from repro.sim.stats import WindowedRecorder
+
+    rec = WindowedRecorder(window_us=100.0)
+    # Steady 10/window, a dip to 2, then recovery two windows later.
+    for window, count in enumerate([10, 10, 2, 5, 10, 10]):
+        for i in range(count):
+            rec.record(window * 100.0 + i)
+    assert rec.degradation_depth() == pytest.approx(1.0 - 2.0 / 10.0)
+    # Trough at window 2; first window back at 90% of the median (9) is
+    # window 4, two windows later.
+    assert rec.time_to_recovery_us(0.9) == pytest.approx(200.0)
+    # A lower bar is cleared one window sooner.
+    assert rec.time_to_recovery_us(0.5) == pytest.approx(100.0)
+
+
+def test_windowed_recorder_flat_series_reports_no_dip():
+    from repro.sim.stats import WindowedRecorder
+
+    rec = WindowedRecorder(window_us=100.0)
+    for window in range(5):
+        for i in range(10):
+            rec.record(window * 100.0 + i)
+    assert rec.degradation_depth() == 0.0
+    assert rec.time_to_recovery_us() == 0.0
+
+
+def test_windowed_recorder_unrecovered_dip_is_none():
+    from repro.sim.stats import WindowedRecorder
+
+    rec = WindowedRecorder(window_us=100.0)
+    for window, count in enumerate([10, 10, 10, 10, 2]):
+        for i in range(count):
+            rec.record(window * 100.0 + i)
+    assert rec.time_to_recovery_us(0.9) is None
+
+
+def test_windowed_recorder_ignores_trailing_silence():
+    from repro.sim.stats import WindowedRecorder
+
+    rec = WindowedRecorder(window_us=100.0)
+    for window in range(3):
+        for i in range(10):
+            rec.record(window * 100.0 + i)
+    # The drain after measurement ends leaves empty trailing windows; they
+    # must not read as a 100% dip.
+    rec.record_latency(800.0, 50.0)  # grows the count series with zeros
+    assert rec.counts()[-1] == 0
+    assert rec.degradation_depth() == 0.0
+
+
+def test_windowed_recorder_json_round_trip():
+    from repro.sim.stats import WindowedRecorder
+
+    rec = WindowedRecorder(window_us=250.0, origin_us=2_000.0, max_windows=64)
+    for t in (2_000.0, 2_100.0, 2_600.0, 3_900.0):
+        rec.record(t)
+    rec.record_latency(2_000.0, 123.0)
+    rec.record_latency(2_600.0, 321.0)
+    data = rec.to_json_dict()
+    clone = WindowedRecorder.from_json_dict(data)
+    assert clone.to_json_dict() == data
+    assert clone.counts() == rec.counts()
+    assert clone.mean_latency_us() == rec.mean_latency_us()
+    assert (clone.window_us, clone.origin_us, clone.max_windows) == (250.0, 2_000.0, 64)
+
+
+def test_windowed_recorder_round_trip_repairs_missing_latency_windows():
+    from repro.sim.stats import WindowedRecorder
+
+    clone = WindowedRecorder.from_json_dict(
+        {"window_us": 100.0, "counts": [3, 1, 2], "latency_counts": [1],
+         "latency_sums": [50.0]}
+    )
+    assert clone.counts() == [3, 1, 2]
+    assert clone.mean_latency_us() == [50.0, 0.0, 0.0]
+
+
+def test_windowed_recorder_merge_sums_aligned_series():
+    from repro.sim.stats import WindowedRecorder
+
+    a = WindowedRecorder(window_us=100.0)
+    b = WindowedRecorder(window_us=100.0)
+    a.record(50.0)
+    a.record_latency(50.0, 100.0)
+    b.record(150.0)
+    b.record(250.0)
+    b.record_latency(150.0, 300.0)
+    a.merge(b)
+    assert a.counts() == [1, 1, 1]
+    assert a.mean_latency_us() == [100.0, 300.0, 0.0]
+
+
+def test_windowed_recorder_merge_realigns_coarsened_widths():
+    from repro.sim.stats import WindowedRecorder
+
+    coarse = WindowedRecorder(window_us=1.0, max_windows=4)
+    for t in range(8):
+        coarse.record(float(t))  # width doubles to 2.0
+    fine = WindowedRecorder(window_us=1.0, max_windows=4)
+    fine.record(0.0)
+    before = fine.to_json_dict()
+    coarse.merge(fine)
+    assert coarse.window_us == 2.0
+    assert coarse.counts() == [3, 2, 2, 2]
+    # Merging does not mutate the finer source.
+    assert fine.to_json_dict() == before
+
+
+def test_windowed_recorder_merge_rejects_mismatched_origins():
+    from repro.sim.stats import WindowedRecorder
+
+    a = WindowedRecorder(window_us=100.0, origin_us=0.0)
+    b = WindowedRecorder(window_us=100.0, origin_us=500.0)
+    with pytest.raises(ValueError, match="different origins"):
+        a.merge(b)
+
+
+def test_windowed_recorder_validates_construction():
+    from repro.sim.stats import WindowedRecorder
+
+    with pytest.raises(ValueError, match="window_us"):
+        WindowedRecorder(window_us=0.0)
+    with pytest.raises(ValueError, match="max_windows"):
+        WindowedRecorder(max_windows=1)
+
+
+def test_run_metrics_timeline_round_trips():
+    from repro.sim.stats import WindowedRecorder
+
+    metrics = RunMetrics()
+    metrics.committed = 3
+    metrics.timeline = WindowedRecorder(window_us=100.0)
+    metrics.timeline.record(50.0)
+    metrics.timeline.record_latency(50.0, 10.0)
+    clone = RunMetrics.from_json_dict(metrics.to_json_dict())
+    assert clone.timeline is not None
+    assert clone.timeline.to_json_dict() == metrics.timeline.to_json_dict()
+    # Runs without a timeline keep the key out of the document entirely,
+    # so fault-free result JSON is byte-identical to the pre-timeline format.
+    bare = RunMetrics()
+    assert "timeline" not in bare.to_json_dict()
+    assert RunMetrics.from_json_dict(bare.to_json_dict()).timeline is None
